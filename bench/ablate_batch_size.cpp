@@ -1,0 +1,37 @@
+// Ablation — Batch size. The paper batches a full window (1000 samples,
+// one interrupt). Sweeping flushes-per-window shows the whole curve from
+// Batching (1 flush) back towards Baseline (1000 flushes = per-sample).
+#include "bench_util.h"
+
+using namespace iotsim;
+
+int main() {
+  std::cout << "=== Ablation: batch size (flushes per window), step counter ===\n\n";
+
+  const auto base = bench::run({apps::AppId::kA2StepCounter}, core::Scheme::kBaseline);
+
+  trace::TablePrinter t{{"Flushes/window", "Samples/batch", "Energy (mJ)", "Savings vs baseline",
+                         "Interrupts", "CPU wakeups"}};
+  trace::BarChart chart{"% savings"};
+  for (int flushes : {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000}) {
+    core::Scenario sc;
+    sc.app_ids = {apps::AppId::kA2StepCounter};
+    sc.scheme = core::Scheme::kBatching;
+    sc.windows = bench::kDefaultWindows;
+    sc.batch_flushes_per_window = flushes;
+    const auto r = core::run_scenario(sc);
+    const double sav = r.energy.savings_vs(base.energy);
+    using TP = trace::TablePrinter;
+    t.add_row({std::to_string(flushes), std::to_string(1000 / flushes),
+               TP::num(r.total_joules() * 1e3, 5), TP::pct(sav),
+               std::to_string(r.interrupts_raised), std::to_string(r.cpu_wakeups)});
+    chart.add(std::to_string(flushes) + " flushes", std::max(sav, 0.0) * 100.0);
+  }
+  std::cout << t.render() << '\n';
+  std::cout << chart.render(60) << '\n';
+  std::cout << "With one flush per window the CPU sleeps ~the whole second (the\n"
+               "paper's Batching). As flushes increase, per-flush gaps fall below the\n"
+               "light-sleep break-even and the CPU degrades to active waiting —\n"
+               "savings collapse towards the baseline.\n";
+  return 0;
+}

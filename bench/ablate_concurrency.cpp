@@ -1,0 +1,38 @@
+// Ablation — concurrency scaling: how many per-sample apps can the hub
+// sustain before the interrupt path saturates, and how BEAM/BCOM move that
+// wall. (The smart-home example shows one point of this curve; this bench
+// sweeps it.)
+#include "bench_util.h"
+
+using namespace iotsim;
+using apps::AppId;
+
+int main() {
+  std::cout << "=== Ablation: concurrent per-sample apps vs. the interrupt wall ===\n\n";
+
+  // Incrementally stacked 1 kHz-heavy apps.
+  const std::vector<AppId> stack = {AppId::kA2StepCounter, AppId::kA7Earthquake,
+                                    AppId::kA8Heartbeat, AppId::kA6Dropbox};
+
+  trace::TablePrinter t{{"Apps", "Scheme", "Interrupts/s", "Energy (J)", "Worst latency (ms)",
+                         "QoS"}};
+  using TP = trace::TablePrinter;
+  for (std::size_t n = 1; n <= stack.size(); ++n) {
+    const std::vector<AppId> ids(stack.begin(), stack.begin() + static_cast<std::ptrdiff_t>(n));
+    for (auto scheme : {core::Scheme::kBaseline, core::Scheme::kBeam, core::Scheme::kBcom}) {
+      const auto r = bench::run(ids, scheme, 3);
+      sim::Duration worst = sim::Duration::zero();
+      for (const auto& [id, res] : r.apps) worst = std::max(worst, res.qos.worst_latency);
+      t.add_row({bench::combo_name(ids), std::string{to_string(scheme)},
+                 TP::num(static_cast<double>(r.interrupts_raised) / r.span.to_seconds(), 4),
+                 TP::num(r.total_joules(), 4), TP::num(worst.to_ms(), 4),
+                 r.qos_met ? "met" : "MISSED"});
+    }
+  }
+  std::cout << t.render() << '\n';
+  std::cout << "Each added per-sample app stacks >=1000 interrupts/s onto the CPU's\n"
+               "handling path (~0.3 ms each); once demand nears the window, latency\n"
+               "blows through the deadline. BEAM removes duplicate streams, BCOM\n"
+               "removes the per-sample path entirely - both push the wall out.\n";
+  return 0;
+}

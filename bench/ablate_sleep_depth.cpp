@@ -1,0 +1,57 @@
+// Ablation — how much of COM's saving comes from *deep* sleep? The paper's
+// §III-B4 assumes one sleep mode at ~30% of active power; our model gives
+// the governor a second, deeper state. Flattening the depths quantifies
+// the difference (and reproduces the paper's single-mode arithmetic).
+#include "bench_util.h"
+
+using namespace iotsim;
+
+namespace {
+
+core::ScenarioResult run_depths(apps::AppId id, core::Scheme scheme, double light_w,
+                                double deep_w) {
+  core::Scenario sc;
+  sc.app_ids = {id};
+  sc.scheme = scheme;
+  sc.windows = bench::kDefaultWindows;
+  sc.hub.cpu.light_sleep_w = light_w;
+  sc.hub.cpu.deep_sleep_w = deep_w;
+  return core::run_scenario(sc);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: CPU sleep depth vs COM/Batching savings (A2) ===\n\n";
+
+  const auto id = apps::AppId::kA2StepCounter;
+  struct Config {
+    const char* name;
+    double light_w;
+    double deep_w;
+  };
+  // 0.57 W = 30% of 1.9 W active — the paper's single-mode assumption.
+  const Config configs[] = {
+      {"paper single mode (30% of active)", 0.57, 0.57},
+      {"light-only (0.45 W)", 0.45, 0.45},
+      {"calibrated two-depth (0.45/0.10 W)", 0.45, 0.10},
+      {"aggressive deep (0.45/0.02 W)", 0.45, 0.02},
+  };
+
+  trace::TablePrinter t{{"Sleep model", "Batching savings", "COM savings", "COM energy (mJ)"}};
+  using TP = trace::TablePrinter;
+  for (const auto& cfg : configs) {
+    const auto base = run_depths(id, core::Scheme::kBaseline, cfg.light_w, cfg.deep_w);
+    const auto batch = run_depths(id, core::Scheme::kBatching, cfg.light_w, cfg.deep_w);
+    const auto com = run_depths(id, core::Scheme::kCom, cfg.light_w, cfg.deep_w);
+    t.add_row({cfg.name, TP::pct(batch.energy.savings_vs(base.energy)),
+               TP::pct(com.energy.savings_vs(base.energy)),
+               TP::num(com.total_joules() * 1e3, 5)});
+  }
+  std::cout << t.render() << '\n';
+  std::cout << "Batching only ever reaches light sleep (it must take the bulk\n"
+               "interrupt), so its savings barely move. COM idles the CPU for the\n"
+               "whole window, so its savings track the deep-sleep floor — the gap\n"
+               "between rows 1 and 3 is what a second C-state buys the offload.\n";
+  return 0;
+}

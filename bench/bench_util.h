@@ -1,0 +1,102 @@
+// Shared helpers for the figure-regeneration benches.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/scenario_runner.h"
+#include "trace/ascii_chart.h"
+#include "trace/csv_writer.h"
+#include "trace/table_printer.h"
+
+namespace iotsim::bench {
+
+inline constexpr int kDefaultWindows = 5;
+
+/// A world with activity on every channel, so kernels have real work: two
+/// seismic bursts, scheduled voice commands, a slightly irregular heart.
+inline sensors::WorldConfig active_world() {
+  sensors::WorldConfig world;
+  world.quakes = {{1.35, 0.25, 1.2}, {3.6, 0.3, 2.0}};
+  world.utterances = {{0.2, 0}, {1.3, 2}, {2.4, 4}, {3.5, 1}, {4.3, 5}};
+  world.heart_bpm = 72.0;
+  world.heart_irregular_prob = 0.0;
+  return world;
+}
+
+inline core::ScenarioResult run(std::vector<apps::AppId> ids, core::Scheme scheme,
+                                int windows = kDefaultWindows, bool trace = false) {
+  core::Scenario sc;
+  sc.app_ids = std::move(ids);
+  sc.scheme = scheme;
+  sc.windows = windows;
+  sc.world = active_world();
+  sc.record_power_trace = trace;
+  return core::run_scenario(sc);
+}
+
+/// Paper-style four-routine percentages of a scheme run, normalised to a
+/// baseline run's total (the bars of Figs. 7/9/10/11/12).
+struct BreakdownRow {
+  double dc, irq, dt, comp, idle;
+  [[nodiscard]] double total() const { return dc + irq + dt + comp + idle; }
+};
+
+inline BreakdownRow breakdown_vs(const core::ScenarioResult& r,
+                                 const core::ScenarioResult& baseline) {
+  const double base = baseline.total_joules();
+  const auto& e = r.energy;
+  return BreakdownRow{
+      e.paper_joules(energy::Routine::kDataCollection) / base * 100.0,
+      e.paper_joules(energy::Routine::kInterrupt) / base * 100.0,
+      e.paper_joules(energy::Routine::kDataTransfer) / base * 100.0,
+      e.paper_joules(energy::Routine::kComputation) / base * 100.0,
+      e.joules(energy::Routine::kIdle) / base * 100.0,
+  };
+}
+
+inline void add_breakdown_row(trace::TablePrinter& t, const std::string& label,
+                              const BreakdownRow& row) {
+  using TP = trace::TablePrinter;
+  t.add_row({label, TP::num(row.dc, 3), TP::num(row.irq, 3), TP::num(row.dt, 3),
+             TP::num(row.comp, 3), TP::num(row.idle, 3), TP::num(row.total(), 4)});
+}
+
+inline trace::TablePrinter breakdown_table(const std::string& first_col = "Scheme") {
+  return trace::TablePrinter{
+      {first_col, "DataColl%", "Interrupt%", "DataTransfer%", "Computing%", "Idle%", "Total%"}};
+}
+
+/// The paper's 14 sensor-sharing combinations (Fig. 11 x-axis).
+inline const std::vector<std::vector<apps::AppId>>& fig11_combos() {
+  using apps::AppId;
+  static const std::vector<std::vector<apps::AppId>> combos = {
+      {AppId::kA2StepCounter, AppId::kA5Blynk},
+      {AppId::kA5Blynk, AppId::kA7Earthquake},
+      {AppId::kA4M2x, AppId::kA5Blynk},
+      {AppId::kA3ArduinoJson, AppId::kA5Blynk},
+      {AppId::kA2StepCounter, AppId::kA7Earthquake},
+      {AppId::kA2StepCounter, AppId::kA4M2x},
+      {AppId::kA4M2x, AppId::kA7Earthquake},
+      {AppId::kA3ArduinoJson, AppId::kA4M2x},
+      {AppId::kA2StepCounter, AppId::kA5Blynk, AppId::kA7Earthquake},
+      {AppId::kA2StepCounter, AppId::kA4M2x, AppId::kA5Blynk},
+      {AppId::kA4M2x, AppId::kA5Blynk, AppId::kA7Earthquake},
+      {AppId::kA3ArduinoJson, AppId::kA4M2x, AppId::kA5Blynk},
+      {AppId::kA2StepCounter, AppId::kA4M2x, AppId::kA7Earthquake},
+      {AppId::kA2StepCounter, AppId::kA4M2x, AppId::kA5Blynk, AppId::kA7Earthquake},
+  };
+  return combos;
+}
+
+inline std::string combo_name(const std::vector<apps::AppId>& ids) {
+  std::string out;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) out += "+";
+    out += std::string{apps::code_of(ids[i])};
+  }
+  return out;
+}
+
+}  // namespace iotsim::bench

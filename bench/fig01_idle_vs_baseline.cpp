@@ -1,0 +1,41 @@
+// Figure 1 — Energy consumption of an idle IoT hub vs. the baseline average
+// of the 10 apps. Paper: the baseline burns 9.5× the idle hub's energy.
+#include "bench_util.h"
+
+using namespace iotsim;
+
+int main() {
+  std::cout << "=== Fig. 1: idle hub vs. running baseline ===\n\n";
+
+  // Idle hub: simulate the platform with no app at all by running a
+  // scenario-free hub for the same span.
+  sim::Simulator sim;
+  energy::EnergyAccountant acct;
+  hw::IotHub hub{sim, acct, hw::default_hub_spec()};
+  const auto span = sim::Duration::sec(bench::kDefaultWindows);
+  sim.run_until(sim::SimTime::origin() + span);
+  hub.flush_power();
+  const auto idle = energy::EnergyReport::from_accountant(acct, span);
+
+  double baseline_watts_sum = 0.0;
+  trace::TablePrinter t{{"App", "Baseline avg power (W)", "Energy / window (J)"}};
+  for (auto id : apps::kLightweightApps) {
+    const auto r = bench::run({id}, core::Scheme::kBaseline);
+    baseline_watts_sum += r.average_watts();
+    t.add_row({std::string{apps::code_of(id)}, trace::TablePrinter::num(r.average_watts(), 4),
+               trace::TablePrinter::num(r.total_joules() / bench::kDefaultWindows, 4)});
+  }
+  const double baseline_avg_w = baseline_watts_sum / 10.0;
+  std::cout << t.render() << '\n';
+
+  const double ratio = baseline_avg_w / idle.average_watts();
+  std::cout << "idle hub power      : " << idle.average_watts() << " W\n";
+  std::cout << "baseline avg power  : " << baseline_avg_w << " W\n";
+  std::cout << "ratio (paper: 9.5x) : " << ratio << "x\n\n";
+
+  trace::BarChart chart{"(energy normalised to baseline)"};
+  chart.add("Baseline", 1.0);
+  chart.add("Idle", idle.average_watts() / baseline_avg_w);
+  std::cout << chart.render(60);
+  return 0;
+}

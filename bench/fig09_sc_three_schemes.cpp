@@ -1,0 +1,35 @@
+// Figure 9 — Step-counter energy breakdown under Baseline / Batching / COM.
+// Paper: COM leaves ≈27% of baseline (6% collection + 21% computing, which
+// includes the sleeping CPU), i.e. ≈73% saving for the step counter.
+#include "bench_util.h"
+
+using namespace iotsim;
+
+int main() {
+  std::cout << "=== Fig. 9: step counter under all three single-app schemes ===\n\n";
+
+  const auto base = bench::run({apps::AppId::kA2StepCounter}, core::Scheme::kBaseline);
+  const auto batch = bench::run({apps::AppId::kA2StepCounter}, core::Scheme::kBatching);
+  const auto com = bench::run({apps::AppId::kA2StepCounter}, core::Scheme::kCom);
+
+  auto t = bench::breakdown_table();
+  bench::add_breakdown_row(t, "Baseline", bench::breakdown_vs(base, base));
+  bench::add_breakdown_row(t, "Batching", bench::breakdown_vs(batch, base));
+  bench::add_breakdown_row(t, "COM", bench::breakdown_vs(com, base));
+  std::cout << t.render() << '\n';
+
+  std::cout << "Batching saving (paper ~63%): "
+            << trace::TablePrinter::pct(batch.energy.savings_vs(base.energy)) << '\n';
+  std::cout << "COM saving      (paper ~73%): "
+            << trace::TablePrinter::pct(com.energy.savings_vs(base.energy)) << "\n\n";
+
+  trace::StackedBarChart chart{{"DataCollection", "Interrupt", "DataTransfer", "Computing+Idle"}};
+  for (const auto& [name, r] :
+       std::vector<std::pair<std::string, const core::ScenarioResult*>>{
+           {"Baseline", &base}, {"Batching", &batch}, {"COM", &com}}) {
+    const auto row = bench::breakdown_vs(*r, base);
+    chart.add(name, {row.dc, row.irq, row.dt, row.comp + row.idle});
+  }
+  std::cout << chart.render(70);
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Micro-benchmarks of the substrate itself (google-benchmark): event-queue
+// throughput, coroutine scheduling, DSP/codec kernels, and a full scenario.
+#include <benchmark/benchmark.h>
+
+#include "codecs/jpeg/jpeg_decoder.h"
+#include "codecs/jpeg/jpeg_encoder.h"
+#include "core/scenario_runner.h"
+#include "dsp/dtw.h"
+#include "dsp/fft.h"
+#include "dsp/pan_tompkins.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+using namespace iotsim;
+
+namespace {
+
+void BM_EventQueueScheduleDrain(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (std::size_t i = 0; i < n; ++i) {
+      q.schedule(sim::SimTime::from_ns(static_cast<std::int64_t>((i * 7919) % 100000)), [] {});
+    }
+    while (!q.empty()) q.pop();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueScheduleDrain)->Arg(1000)->Arg(100000);
+
+void BM_CoroutinePingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::Signal ping, pong;
+    auto a = [&]() -> sim::Task<void> {
+      for (int i = 0; i < 1000; ++i) {
+        ping.notify_all();
+        co_await pong.wait();
+      }
+    };
+    auto b = [&]() -> sim::Task<void> {
+      for (int i = 0; i < 1000; ++i) {
+        co_await ping.wait();
+        pong.notify_all();
+      }
+    };
+    sim.spawn(b());
+    sim.spawn(a());
+    sim.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2000);
+}
+BENCHMARK(BM_CoroutinePingPong);
+
+void BM_Fft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Rng rng{1};
+  std::vector<std::complex<double>> data(n);
+  for (auto& x : data) x = {rng.normal(), rng.normal()};
+  for (auto _ : state) {
+    auto copy = data;
+    dsp::fft(copy);
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_Fft)->Arg(256)->Arg(4096);
+
+void BM_PanTompkins1s(benchmark::State& state) {
+  sim::Rng rng{2};
+  std::vector<double> ecg(1000);
+  for (std::size_t i = 0; i < ecg.size(); ++i) {
+    const double t = static_cast<double>(i) / 1000.0;
+    ecg[i] = std::exp(-(t - 0.5) * (t - 0.5) / 0.0001) + 0.02 * rng.normal();
+  }
+  for (auto _ : state) {
+    auto r = dsp::detect_qrs(ecg, {});
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_PanTompkins1s);
+
+void BM_JpegRoundTrip(benchmark::State& state) {
+  auto img = codecs::jpeg::Image::allocate(320, 240);
+  sim::Rng rng{3};
+  for (auto& b : img.rgb) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  for (auto _ : state) {
+    const auto jpeg = codecs::jpeg::encode(img, codecs::jpeg::EncoderConfig{80});
+    auto decoded = codecs::jpeg::decode(jpeg);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_JpegRoundTrip);
+
+void BM_DtwMatch(benchmark::State& state) {
+  sim::Rng rng{4};
+  dsp::FeatureSeq a, b;
+  for (int i = 0; i < 60; ++i) {
+    a.push_back({rng.normal(), rng.normal(), rng.normal()});
+    b.push_back({rng.normal(), rng.normal(), rng.normal()});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::dtw_distance(a, b));
+  }
+}
+BENCHMARK(BM_DtwMatch);
+
+void BM_ScenarioStepCounterBaseline(benchmark::State& state) {
+  for (auto _ : state) {
+    core::Scenario sc;
+    sc.app_ids = {apps::AppId::kA2StepCounter};
+    sc.scheme = core::Scheme::kBaseline;
+    sc.windows = 2;
+    auto r = core::run_scenario(sc);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ScenarioStepCounterBaseline);
+
+}  // namespace
+
+BENCHMARK_MAIN();

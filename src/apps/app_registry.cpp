@@ -1,0 +1,34 @@
+#include "apps/iot_app.h"
+
+namespace iotsim::apps {
+
+std::unique_ptr<IotApp> make_coap_server_app();
+std::unique_ptr<IotApp> make_step_counter_app();
+std::unique_ptr<IotApp> make_arduino_json_app();
+std::unique_ptr<IotApp> make_m2x_app();
+std::unique_ptr<IotApp> make_blynk_app();
+std::unique_ptr<IotApp> make_dropbox_app();
+std::unique_ptr<IotApp> make_earthquake_app();
+std::unique_ptr<IotApp> make_heartbeat_app();
+std::unique_ptr<IotApp> make_jpeg_decoder_app();
+std::unique_ptr<IotApp> make_fingerprint_app();
+std::unique_ptr<IotApp> make_speech_to_text_app();
+
+std::unique_ptr<IotApp> make_app(AppId id) {
+  switch (id) {
+    case AppId::kA1CoapServer: return make_coap_server_app();
+    case AppId::kA2StepCounter: return make_step_counter_app();
+    case AppId::kA3ArduinoJson: return make_arduino_json_app();
+    case AppId::kA4M2x: return make_m2x_app();
+    case AppId::kA5Blynk: return make_blynk_app();
+    case AppId::kA6Dropbox: return make_dropbox_app();
+    case AppId::kA7Earthquake: return make_earthquake_app();
+    case AppId::kA8Heartbeat: return make_heartbeat_app();
+    case AppId::kA9JpegDecoder: return make_jpeg_decoder_app();
+    case AppId::kA10Fingerprint: return make_fingerprint_app();
+    case AppId::kA11SpeechToText: return make_speech_to_text_app();
+  }
+  return nullptr;
+}
+
+}  // namespace iotsim::apps

@@ -1,0 +1,61 @@
+// The runtime-facing application interface.
+//
+// Each workload's user-level computation (Table II rightmost column) is a
+// real algorithm executing on the host; the runtimes charge its *simulated*
+// cost from the WorkloadSpec while the kernel produces genuine outputs
+// (step counts, decoded frames, matched fingerprints, …) that tests assert
+// against.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/workload_spec.h"
+#include "sensors/sample.h"
+#include "sensors/sensor_catalog.h"
+#include "trace/memory_profiler.h"
+
+namespace iotsim::apps {
+
+struct WindowInput {
+  sim::SimTime window_start;
+  /// All samples collected during the window, per sensor.
+  std::map<sensors::SensorId, std::vector<sensors::Sample>> samples;
+
+  [[nodiscard]] const std::vector<sensors::Sample>& of(sensors::SensorId id) const {
+    static const std::vector<sensors::Sample> kEmpty;
+    auto it = samples.find(id);
+    return it == samples.end() ? kEmpty : it->second;
+  }
+};
+
+struct WindowOutput {
+  std::string summary;             // human-readable user-level result
+  std::size_t net_payload_bytes = 0;  // bytes the app wants uploaded
+  double metric = 0.0;             // app-defined headline number (steps, bpm…)
+  bool event = false;              // app-defined alarm (quake, irregularity…)
+};
+
+class IotApp {
+ public:
+  explicit IotApp(const WorkloadSpec& spec) : spec_{spec} {}
+  virtual ~IotApp() = default;
+  IotApp(const IotApp&) = delete;
+  IotApp& operator=(const IotApp&) = delete;
+
+  [[nodiscard]] const WorkloadSpec& spec() const { return spec_; }
+
+  /// Runs the user-level computation over one window of sensor data.
+  /// Working buffers must come from `ws` so heap usage is profiled (Fig. 6).
+  virtual WindowOutput process_window(const WindowInput& in, trace::Workspace& ws) = 0;
+
+ private:
+  const WorkloadSpec& spec_;
+};
+
+/// Builds the kernel implementation for an app.
+[[nodiscard]] std::unique_ptr<IotApp> make_app(AppId id);
+
+}  // namespace iotsim::apps

@@ -1,0 +1,116 @@
+#include "codecs/coap/coap_codec.h"
+
+#include <algorithm>
+
+namespace iotsim::codecs::coap {
+
+namespace {
+
+constexpr std::uint8_t kVersion = 1;
+constexpr std::uint8_t kPayloadMarker = 0xFF;
+
+/// Splits an option delta/length value into its 4-bit nibble + extension
+/// bytes per RFC 7252 §3.1.
+struct NibbleExt {
+  std::uint8_t nibble;
+  std::vector<std::uint8_t> ext;
+};
+
+NibbleExt encode_nibble(std::uint32_t v) {
+  if (v < 13) return {static_cast<std::uint8_t>(v), {}};
+  if (v < 269) return {13, {static_cast<std::uint8_t>(v - 13)}};
+  const std::uint32_t e = v - 269;
+  return {14, {static_cast<std::uint8_t>(e >> 8), static_cast<std::uint8_t>(e & 0xFF)}};
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const Message& msg) {
+  std::vector<std::uint8_t> out;
+  const auto tkl = static_cast<std::uint8_t>(std::min<std::size_t>(msg.token.size(), 8));
+  out.push_back(static_cast<std::uint8_t>((kVersion << 6) |
+                                          (static_cast<std::uint8_t>(msg.type) << 4) | tkl));
+  out.push_back(msg.code.byte());
+  out.push_back(static_cast<std::uint8_t>(msg.message_id >> 8));
+  out.push_back(static_cast<std::uint8_t>(msg.message_id & 0xFF));
+  out.insert(out.end(), msg.token.begin(), msg.token.begin() + tkl);
+
+  auto options = msg.options;
+  std::stable_sort(options.begin(), options.end(),
+                   [](const Option& a, const Option& b) { return a.number < b.number; });
+  std::uint16_t previous = 0;
+  for (const auto& opt : options) {
+    const auto delta = encode_nibble(static_cast<std::uint32_t>(opt.number - previous));
+    const auto length = encode_nibble(static_cast<std::uint32_t>(opt.value.size()));
+    out.push_back(static_cast<std::uint8_t>((delta.nibble << 4) | length.nibble));
+    out.insert(out.end(), delta.ext.begin(), delta.ext.end());
+    out.insert(out.end(), length.ext.begin(), length.ext.end());
+    out.insert(out.end(), opt.value.begin(), opt.value.end());
+    previous = opt.number;
+  }
+
+  if (!msg.payload.empty()) {
+    out.push_back(kPayloadMarker);
+    out.insert(out.end(), msg.payload.begin(), msg.payload.end());
+  }
+  return out;
+}
+
+DecodeResult decode(std::span<const std::uint8_t> wire) {
+  if (wire.size() < 4) return {std::nullopt, "truncated header"};
+  const std::uint8_t b0 = wire[0];
+  if ((b0 >> 6) != kVersion) return {std::nullopt, "bad version"};
+  Message msg;
+  msg.type = static_cast<Type>((b0 >> 4) & 0x3);
+  const std::uint8_t tkl = b0 & 0x0F;
+  if (tkl > 8) return {std::nullopt, "token length > 8"};
+  msg.code = Code::from_byte(wire[1]);
+  msg.message_id = static_cast<std::uint16_t>((wire[2] << 8) | wire[3]);
+
+  std::size_t pos = 4;
+  if (pos + tkl > wire.size()) return {std::nullopt, "truncated token"};
+  msg.token.assign(wire.begin() + static_cast<std::ptrdiff_t>(pos),
+                   wire.begin() + static_cast<std::ptrdiff_t>(pos + tkl));
+  pos += tkl;
+
+  auto read_extended = [&](std::uint8_t nibble,
+                           std::uint32_t& value) -> const char* {
+    if (nibble < 13) {
+      value = nibble;
+    } else if (nibble == 13) {
+      if (pos >= wire.size()) return "truncated option extension";
+      value = wire[pos++] + 13u;
+    } else if (nibble == 14) {
+      if (pos + 2 > wire.size()) return "truncated option extension";
+      value = static_cast<std::uint32_t>((wire[pos] << 8) | wire[pos + 1]) + 269u;
+      pos += 2;
+    } else {
+      return "reserved nibble 15";
+    }
+    return nullptr;
+  };
+
+  std::uint16_t number = 0;
+  while (pos < wire.size()) {
+    if (wire[pos] == kPayloadMarker) {
+      ++pos;
+      if (pos >= wire.size()) return {std::nullopt, "marker with empty payload"};
+      msg.payload.assign(wire.begin() + static_cast<std::ptrdiff_t>(pos), wire.end());
+      return {std::move(msg), {}};
+    }
+    const std::uint8_t byte = wire[pos++];
+    std::uint32_t delta = 0, length = 0;
+    if (const char* err = read_extended(byte >> 4, delta)) return {std::nullopt, err};
+    if (const char* err = read_extended(byte & 0x0F, length)) return {std::nullopt, err};
+    if (pos + length > wire.size()) return {std::nullopt, "truncated option value"};
+    number = static_cast<std::uint16_t>(number + delta);
+    msg.options.push_back(
+        Option{number, std::vector<std::uint8_t>(
+                           wire.begin() + static_cast<std::ptrdiff_t>(pos),
+                           wire.begin() + static_cast<std::ptrdiff_t>(pos + length))});
+    pos += length;
+  }
+  return {std::move(msg), {}};
+}
+
+}  // namespace iotsim::codecs::coap

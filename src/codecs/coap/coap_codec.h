@@ -1,0 +1,27 @@
+// CoAP wire encoding/decoding (RFC 7252 §3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "codecs/coap/coap_message.h"
+
+namespace iotsim::codecs::coap {
+
+/// Serialises a message. Options are sorted by number before delta
+/// encoding, as the wire format requires.
+[[nodiscard]] std::vector<std::uint8_t> encode(const Message& msg);
+
+struct DecodeResult {
+  std::optional<Message> message;
+  std::string error;  // set when message is empty
+
+  [[nodiscard]] bool ok() const { return message.has_value(); }
+};
+
+[[nodiscard]] DecodeResult decode(std::span<const std::uint8_t> wire);
+
+}  // namespace iotsim::codecs::coap

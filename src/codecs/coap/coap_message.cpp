@@ -1,0 +1,30 @@
+#include "codecs/coap/coap_message.h"
+
+namespace iotsim::codecs::coap {
+
+void Message::add_uri_path(const std::string& segment) {
+  add_option(OptionNumber::kUriPath,
+             std::vector<std::uint8_t>(segment.begin(), segment.end()));
+}
+
+void Message::add_option(OptionNumber number, std::vector<std::uint8_t> value) {
+  options.push_back(Option{static_cast<std::uint16_t>(number), std::move(value)});
+}
+
+std::vector<std::string> Message::uri_path() const {
+  std::vector<std::string> segments;
+  for (const auto& opt : options) {
+    if (opt.number == static_cast<std::uint16_t>(OptionNumber::kUriPath)) {
+      segments.emplace_back(opt.value.begin(), opt.value.end());
+    }
+  }
+  return segments;
+}
+
+void Message::set_payload_text(const std::string& text) {
+  payload.assign(text.begin(), text.end());
+}
+
+std::string Message::payload_text() const { return std::string{payload.begin(), payload.end()}; }
+
+}  // namespace iotsim::codecs::coap

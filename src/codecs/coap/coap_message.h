@@ -1,0 +1,74 @@
+// CoAP (RFC 7252) message model — the protocol behind workload A1.
+//
+// Implements the subset a constrained sensor server uses: the 4-byte fixed
+// header, tokens, delta-encoded options (with 13/14 extended encodings) and
+// an opaque payload after the 0xFF marker.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iotsim::codecs::coap {
+
+enum class Type : std::uint8_t {
+  kConfirmable = 0,
+  kNonConfirmable = 1,
+  kAcknowledgement = 2,
+  kReset = 3,
+};
+
+/// Code = class.detail (e.g. 0.01 GET, 2.05 Content).
+struct Code {
+  std::uint8_t cls = 0;
+  std::uint8_t detail = 0;
+
+  [[nodiscard]] std::uint8_t byte() const {
+    return static_cast<std::uint8_t>((cls << 5) | (detail & 0x1F));
+  }
+  [[nodiscard]] static Code from_byte(std::uint8_t b) {
+    return Code{static_cast<std::uint8_t>(b >> 5), static_cast<std::uint8_t>(b & 0x1F)};
+  }
+  friend bool operator==(const Code&, const Code&) = default;
+};
+
+inline constexpr Code kGet{0, 1};
+inline constexpr Code kPost{0, 2};
+inline constexpr Code kPut{0, 3};
+inline constexpr Code kDelete{0, 4};
+inline constexpr Code kContent{2, 5};
+inline constexpr Code kNotFound{4, 4};
+
+/// Option numbers used by the server (RFC 7252 §5.10).
+enum class OptionNumber : std::uint16_t {
+  kUriPath = 11,
+  kContentFormat = 12,
+  kUriQuery = 15,
+  kAccept = 17,
+};
+
+struct Option {
+  std::uint16_t number = 0;
+  std::vector<std::uint8_t> value;
+
+  friend bool operator==(const Option&, const Option&) = default;
+};
+
+struct Message {
+  Type type = Type::kConfirmable;
+  Code code = kGet;
+  std::uint16_t message_id = 0;
+  std::vector<std::uint8_t> token;    // 0–8 bytes
+  std::vector<Option> options;        // kept sorted by number when encoding
+  std::vector<std::uint8_t> payload;
+
+  void add_uri_path(const std::string& segment);
+  void add_option(OptionNumber number, std::vector<std::uint8_t> value);
+  [[nodiscard]] std::vector<std::string> uri_path() const;
+  void set_payload_text(const std::string& text);
+  [[nodiscard]] std::string payload_text() const;
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+}  // namespace iotsim::codecs::coap

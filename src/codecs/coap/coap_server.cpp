@@ -1,0 +1,134 @@
+#include "codecs/coap/coap_server.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace iotsim::codecs::coap {
+
+std::optional<BlockOption> BlockOption::parse(const Option& opt) {
+  if (opt.value.size() > 3) return std::nullopt;
+  std::uint32_t v = 0;
+  for (std::uint8_t byte : opt.value) v = (v << 8) | byte;
+  BlockOption block;
+  const std::uint32_t szx = v & 0x7;
+  if (szx == 7) return std::nullopt;  // reserved
+  block.size = 1u << (szx + 4);
+  block.more = (v & 0x8) != 0;
+  block.num = v >> 4;
+  return block;
+}
+
+std::vector<std::uint8_t> BlockOption::encode() const {
+  assert(size >= 16 && size <= 1024 && (size & (size - 1)) == 0);
+  std::uint32_t szx = 0;
+  while ((16u << szx) < size) ++szx;
+  const std::uint32_t v = (num << 4) | (more ? 0x8 : 0x0) | szx;
+  std::vector<std::uint8_t> out;
+  if (v > 0xFFFF) out.push_back(static_cast<std::uint8_t>(v >> 16));
+  if (v > 0xFF) out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  // RFC 7959: value 0 encodes as the empty option.
+  if (v == 0) out.clear();
+  return out;
+}
+
+void CoapServer::add_resource(std::string path, std::function<std::string()> read) {
+  resources_[path] = Resource{path, std::move(read)};
+}
+
+Message CoapServer::handle(const Message& request) {
+  Message response;
+  response.type = request.type == Type::kConfirmable ? Type::kAcknowledgement
+                                                     : Type::kNonConfirmable;
+  response.message_id = request.message_id;
+  response.token = request.token;
+
+  const auto path_segments = request.uri_path();
+  const std::string path = path_segments.empty() ? "" : path_segments.back();
+  auto it = resources_.find(path);
+  if (request.code != kGet || it == resources_.end()) {
+    response.code = kNotFound;
+    response.set_payload_text("no such resource");
+    return response;
+  }
+
+  // Observe registration (RFC 7641: Observe option with value 0 on a GET).
+  for (const auto& opt : request.options) {
+    if (opt.number == static_cast<std::uint16_t>(ExtOption::kObserve) &&
+        (opt.value.empty() || opt.value[0] == 0)) {
+      auto& list = observers_[path];
+      const bool known = std::any_of(list.begin(), list.end(), [&](const Observer& o) {
+        return o.token == request.token;
+      });
+      if (!known) list.push_back(Observer{request.token, 1});
+      response.add_option(static_cast<OptionNumber>(ExtOption::kObserve), {1});
+      break;
+    }
+  }
+
+  const std::string representation = it->second.read();
+  response.code = kContent;
+
+  // Block2: client-requested block, or server-initiated when too large.
+  std::optional<BlockOption> requested;
+  for (const auto& opt : request.options) {
+    if (opt.number == static_cast<std::uint16_t>(ExtOption::kBlock2)) {
+      requested = BlockOption::parse(opt);
+      if (!requested) {
+        response.code = Code{4, 0};  // 4.00 Bad Request
+        response.set_payload_text("bad block option");
+        return response;
+      }
+    }
+  }
+
+  const std::size_t block_size = requested ? requested->size : preferred_block_size;
+  if (representation.size() > block_size || requested) {
+    const std::uint32_t num = requested ? requested->num : 0;
+    const std::size_t offset = static_cast<std::size_t>(num) * block_size;
+    if (offset >= representation.size()) {
+      response.code = Code{4, 2};  // 4.02 Bad Option: block beyond the end
+      response.set_payload_text("block out of range");
+      return response;
+    }
+    BlockOption block;
+    block.num = num;
+    block.size = static_cast<std::uint32_t>(block_size);
+    block.more = offset + block_size < representation.size();
+    response.add_option(static_cast<OptionNumber>(ExtOption::kBlock2), block.encode());
+    response.set_payload_text(
+        representation.substr(offset, block_size));
+  } else {
+    response.set_payload_text(representation);
+  }
+  return response;
+}
+
+std::vector<std::vector<std::uint8_t>> CoapServer::notify_observers(const std::string& path) {
+  std::vector<std::vector<std::uint8_t>> out;
+  auto obs_it = observers_.find(path);
+  auto res_it = resources_.find(path);
+  if (obs_it == observers_.end() || res_it == resources_.end()) return out;
+
+  const std::string representation = res_it->second.read();
+  for (Observer& obs : obs_it->second) {
+    Message note;
+    note.type = Type::kNonConfirmable;
+    note.code = kContent;
+    note.message_id = next_mid_++;
+    note.token = obs.token;
+    ++obs.sequence;
+    note.add_option(static_cast<OptionNumber>(ExtOption::kObserve),
+                    {static_cast<std::uint8_t>(obs.sequence & 0xFF)});
+    note.set_payload_text(representation);
+    out.push_back(encode(note));
+  }
+  return out;
+}
+
+std::size_t CoapServer::observer_count(const std::string& path) const {
+  auto it = observers_.find(path);
+  return it == observers_.end() ? 0 : it->second.size();
+}
+
+}  // namespace iotsim::codecs::coap

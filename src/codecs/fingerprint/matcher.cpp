@@ -1,0 +1,72 @@
+#include "codecs/fingerprint/matcher.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iotsim::codecs::fingerprint {
+
+namespace {
+
+double angle_diff_deg(std::uint16_t a_cdeg, std::uint16_t b_cdeg) {
+  double d = std::abs(static_cast<double>(a_cdeg) - static_cast<double>(b_cdeg)) / 100.0;
+  if (d > 180.0) d = 360.0 - d;
+  return d;
+}
+
+}  // namespace
+
+MatchResult match(const Template& probe, const Template& reference, const MatchConfig& cfg) {
+  MatchResult result;
+  if (probe.minutiae.empty() || reference.minutiae.empty()) return result;
+
+  std::vector<bool> used(reference.minutiae.size(), false);
+  for (const Minutia& p : probe.minutiae) {
+    double best_dist = cfg.position_tolerance;
+    std::size_t best = reference.minutiae.size();
+    for (std::size_t j = 0; j < reference.minutiae.size(); ++j) {
+      if (used[j]) continue;
+      const Minutia& r = reference.minutiae[j];
+      if (r.type != p.type) continue;
+      if (angle_diff_deg(r.angle_cdeg, p.angle_cdeg) > cfg.angle_tolerance_deg) continue;
+      const double dx = static_cast<double>(r.x) - static_cast<double>(p.x);
+      const double dy = static_cast<double>(r.y) - static_cast<double>(p.y);
+      const double dist = std::sqrt(dx * dx + dy * dy);
+      if (dist <= best_dist) {
+        best_dist = dist;
+        best = j;
+      }
+    }
+    if (best < reference.minutiae.size()) {
+      used[best] = true;
+      ++result.paired;
+    }
+  }
+
+  const double denom =
+      static_cast<double>(std::min(probe.minutiae.size(), reference.minutiae.size()));
+  result.score = static_cast<double>(result.paired) / denom;
+  result.accepted = result.score >= cfg.accept_score;
+  return result;
+}
+
+bool EnrollmentDb::enroll(Template tpl, std::size_t capacity) {
+  if (templates_.size() >= capacity) return false;
+  templates_.push_back(std::move(tpl));
+  return true;
+}
+
+std::optional<std::uint16_t> EnrollmentDb::identify(const Template& probe,
+                                                    const MatchConfig& cfg) const {
+  double best_score = 0.0;
+  std::optional<std::uint16_t> best_id;
+  for (const Template& t : templates_) {
+    const MatchResult r = match(probe, t, cfg);
+    if (r.accepted && r.score > best_score) {
+      best_score = r.score;
+      best_id = t.subject_id;
+    }
+  }
+  return best_id;
+}
+
+}  // namespace iotsim::codecs::fingerprint

@@ -1,0 +1,63 @@
+#include "codecs/fingerprint/minutiae.h"
+
+#include <algorithm>
+
+namespace iotsim::codecs::fingerprint {
+
+namespace {
+constexpr std::uint16_t kMagic = 0xF19A;
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+}
+
+std::uint16_t get_u16(std::span<const std::uint8_t> in, std::size_t at) {
+  return static_cast<std::uint16_t>((in[at] << 8) | in[at + 1]);
+}
+}  // namespace
+
+std::vector<std::uint8_t> serialize(const Template& tpl) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kTemplateBytes);
+  put_u16(out, kMagic);
+  put_u16(out, tpl.subject_id);
+  const auto count = static_cast<std::uint16_t>(
+      std::min<std::size_t>(tpl.minutiae.size(), kMaxMinutiae));
+  put_u16(out, count);
+  put_u16(out, 0);  // padding/reserved
+  for (std::uint16_t i = 0; i < count; ++i) {
+    const Minutia& m = tpl.minutiae[i];
+    put_u16(out, m.x);
+    put_u16(out, m.y);
+    put_u16(out, m.angle_cdeg);
+    out.push_back(static_cast<std::uint8_t>(m.type));
+    out.push_back(m.quality);
+  }
+  out.resize(kTemplateBytes, 0);
+  return out;
+}
+
+std::optional<Template> deserialize(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() != kTemplateBytes) return std::nullopt;
+  if (get_u16(bytes, 0) != kMagic) return std::nullopt;
+  Template tpl;
+  tpl.subject_id = get_u16(bytes, 2);
+  const std::uint16_t count = get_u16(bytes, 4);
+  if (count > kMaxMinutiae) return std::nullopt;
+  for (std::uint16_t i = 0; i < count; ++i) {
+    const std::size_t at = 8 + static_cast<std::size_t>(i) * 8;
+    Minutia m;
+    m.x = get_u16(bytes, at);
+    m.y = get_u16(bytes, at + 2);
+    m.angle_cdeg = get_u16(bytes, at + 4);
+    if (m.angle_cdeg >= 36000) return std::nullopt;
+    if (bytes[at + 6] > 1) return std::nullopt;
+    m.type = static_cast<MinutiaType>(bytes[at + 6]);
+    m.quality = bytes[at + 7];
+    tpl.minutiae.push_back(m);
+  }
+  return tpl;
+}
+
+}  // namespace iotsim::codecs::fingerprint

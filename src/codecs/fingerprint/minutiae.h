@@ -1,0 +1,45 @@
+// Minutiae-based fingerprint templates — workload A10's data model.
+//
+// The optical sensor in Table I (S3) outputs a 512-byte signature; we define
+// that signature as a serialised minutiae template: a header plus up to 62
+// minutiae at 8 bytes each (x, y, angle, type, quality).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace iotsim::codecs::fingerprint {
+
+enum class MinutiaType : std::uint8_t {
+  kRidgeEnding = 0,
+  kBifurcation = 1,
+};
+
+struct Minutia {
+  std::uint16_t x = 0;          // 0..499 (sensor grid units)
+  std::uint16_t y = 0;
+  std::uint16_t angle_cdeg = 0; // ridge direction, centidegrees 0..35999
+  MinutiaType type = MinutiaType::kRidgeEnding;
+  std::uint8_t quality = 100;   // 0..100
+
+  friend bool operator==(const Minutia&, const Minutia&) = default;
+};
+
+inline constexpr std::size_t kTemplateBytes = 512;
+inline constexpr std::size_t kMaxMinutiae = 62;
+
+struct Template {
+  std::uint16_t subject_id = 0;
+  std::vector<Minutia> minutiae;  // ≤ kMaxMinutiae
+
+  friend bool operator==(const Template&, const Template&) = default;
+};
+
+/// Fixed 512-byte wire format: magic(2) subject(2) count(2) pad(2) then
+/// 8 bytes per minutia, zero-padded to kTemplateBytes.
+[[nodiscard]] std::vector<std::uint8_t> serialize(const Template& tpl);
+[[nodiscard]] std::optional<Template> deserialize(std::span<const std::uint8_t> bytes);
+
+}  // namespace iotsim::codecs::fingerprint

@@ -1,0 +1,90 @@
+// JPEG entropy-coding plumbing: canonical Huffman tables (ITU-T81 Annex K
+// defaults), bit-level IO with 0xFF byte stuffing, and magnitude coding.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace iotsim::codecs::jpeg {
+
+/// Canonical Huffman table built from the JPEG (BITS, HUFFVAL) description.
+class HuffmanTable {
+ public:
+  HuffmanTable() = default;
+  /// `bits[i]` = number of codes of length i+1 (16 entries); `vals` are the
+  /// symbols in code order.
+  HuffmanTable(std::span<const std::uint8_t> bits, std::span<const std::uint8_t> vals);
+
+  struct CodeWord {
+    std::uint16_t code = 0;
+    std::uint8_t length = 0;  // 0 = symbol not in table
+  };
+  [[nodiscard]] CodeWord encode(std::uint8_t symbol) const { return encode_[symbol]; }
+
+  /// Decoder state per code length (mincode/maxcode/valptr scheme, Annex F).
+  [[nodiscard]] std::optional<std::uint8_t> decode_symbol(class BitReader& reader) const;
+
+  // ITU-T81 Annex K default tables.
+  [[nodiscard]] static const HuffmanTable& dc_luminance();
+  [[nodiscard]] static const HuffmanTable& ac_luminance();
+  [[nodiscard]] static const HuffmanTable& dc_chrominance();
+  [[nodiscard]] static const HuffmanTable& ac_chrominance();
+
+  [[nodiscard]] const std::vector<std::uint8_t>& spec_bits() const { return bits_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& spec_vals() const { return vals_; }
+
+ private:
+  std::array<CodeWord, 256> encode_{};
+  std::array<std::int32_t, 17> mincode_{};
+  std::array<std::int32_t, 17> maxcode_{};  // -1 when no codes of that length
+  std::array<std::int32_t, 17> valptr_{};
+  std::vector<std::uint8_t> bits_;
+  std::vector<std::uint8_t> vals_;
+};
+
+/// MSB-first bit writer with JPEG byte stuffing (0xFF → 0xFF 0x00).
+class BitWriter {
+ public:
+  void put_bits(std::uint32_t value, int count);
+  /// Pads the final partial byte with 1-bits (JPEG convention).
+  void flush();
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return out_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(out_); }
+
+ private:
+  void emit_byte(std::uint8_t b);
+  std::vector<std::uint8_t> out_;
+  std::uint32_t acc_ = 0;
+  int bit_count_ = 0;
+};
+
+/// MSB-first bit reader that un-stuffs 0xFF 0x00 and stops at markers.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) : data_{data} {}
+
+  /// Returns the next bit, or nullopt at end-of-data/marker.
+  [[nodiscard]] std::optional<int> next_bit();
+  /// Reads `count` bits as an unsigned value.
+  [[nodiscard]] std::optional<std::uint32_t> read_bits(int count);
+  /// Bytes consumed so far (rounded up to the current byte).
+  [[nodiscard]] std::size_t consumed() const { return pos_; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  int bit_pos_ = 8;  // 8 → need a fresh byte
+  std::uint8_t current_ = 0;
+};
+
+/// JPEG magnitude category (number of bits to represent v).
+[[nodiscard]] int bit_category(int v);
+/// JPEG signed-magnitude encoding of v in `category` bits.
+[[nodiscard]] std::uint32_t magnitude_bits(int v, int category);
+/// Inverse of magnitude_bits.
+[[nodiscard]] int extend_magnitude(std::uint32_t bits, int category);
+
+}  // namespace iotsim::codecs::jpeg

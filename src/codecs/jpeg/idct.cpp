@@ -1,0 +1,132 @@
+#include "codecs/jpeg/idct.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace iotsim::codecs::jpeg {
+
+namespace {
+
+/// Cosine basis: cos((2x+1)uπ/16), plus the orthonormal scale factors.
+struct DctBasis {
+  double cosine[8][8];
+  double scale[8];
+
+  DctBasis() {
+    for (int x = 0; x < 8; ++x) {
+      for (int u = 0; u < 8; ++u) {
+        cosine[x][u] = std::cos((2.0 * x + 1.0) * u * std::numbers::pi / 16.0);
+      }
+    }
+    scale[0] = std::sqrt(1.0 / 8.0);
+    for (int u = 1; u < 8; ++u) scale[u] = std::sqrt(2.0 / 8.0);
+  }
+};
+
+const DctBasis& basis() {
+  static const DctBasis b;
+  return b;
+}
+
+}  // namespace
+
+void fdct_8x8(const Block& in, Block& out) {
+  const auto& b = basis();
+  double tmp[64];
+  // Rows.
+  for (int y = 0; y < 8; ++y) {
+    for (int u = 0; u < 8; ++u) {
+      double s = 0.0;
+      for (int x = 0; x < 8; ++x) s += in[static_cast<std::size_t>(y * 8 + x)] * b.cosine[x][u];
+      tmp[y * 8 + u] = s * b.scale[u];
+    }
+  }
+  // Columns.
+  for (int u = 0; u < 8; ++u) {
+    for (int v = 0; v < 8; ++v) {
+      double s = 0.0;
+      for (int y = 0; y < 8; ++y) s += tmp[y * 8 + u] * b.cosine[y][v];
+      out[static_cast<std::size_t>(v * 8 + u)] = s * b.scale[v];
+    }
+  }
+}
+
+void idct_8x8(const Block& in, Block& out) {
+  const auto& b = basis();
+  double tmp[64];
+  // Columns.
+  for (int u = 0; u < 8; ++u) {
+    for (int y = 0; y < 8; ++y) {
+      double s = 0.0;
+      for (int v = 0; v < 8; ++v) {
+        s += b.scale[v] * in[static_cast<std::size_t>(v * 8 + u)] * b.cosine[y][v];
+      }
+      tmp[y * 8 + u] = s;
+    }
+  }
+  // Rows.
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      double s = 0.0;
+      for (int u = 0; u < 8; ++u) s += b.scale[u] * tmp[y * 8 + u] * b.cosine[x][u];
+      out[static_cast<std::size_t>(y * 8 + x)] = s;
+    }
+  }
+}
+
+const std::array<int, 64> kZigzagOrder = {
+    0,  1,  8,  16, 9,  2,  3,  10, 17, 24, 32, 25, 18, 11, 4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6,  7,  14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63};
+
+namespace {
+
+constexpr std::array<int, 64> kLumaBase = {
+    16, 11, 10, 16, 24,  40,  51,  61,  12, 12, 14, 19, 26,  58,  60,  55,
+    14, 13, 16, 24, 40,  57,  69,  56,  14, 17, 22, 29, 51,  87,  80,  62,
+    18, 22, 37, 56, 68,  109, 103, 77,  24, 35, 55, 64, 81,  104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99};
+
+constexpr std::array<int, 64> kChromaBase = {
+    17, 18, 24, 47, 99, 99, 99, 99, 18, 21, 26, 66, 99, 99, 99, 99,
+    24, 26, 56, 99, 99, 99, 99, 99, 47, 66, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99};
+
+QuantTable scale_table(const std::array<int, 64>& base, int quality) {
+  quality = std::clamp(quality, 1, 100);
+  const int scale = quality < 50 ? 5000 / quality : 200 - quality * 2;
+  QuantTable out;
+  for (int i = 0; i < 64; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        std::clamp((base[static_cast<std::size_t>(i)] * scale + 50) / 100, 1, 255);
+  }
+  return out;
+}
+
+}  // namespace
+
+QuantTable luminance_quant_table(int quality) { return scale_table(kLumaBase, quality); }
+QuantTable chrominance_quant_table(int quality) { return scale_table(kChromaBase, quality); }
+
+Ycbcr rgb_to_ycbcr(std::uint8_t r, std::uint8_t g, std::uint8_t b) {
+  const double rd = r, gd = g, bd = b;
+  return Ycbcr{0.299 * rd + 0.587 * gd + 0.114 * bd,
+               -0.168736 * rd - 0.331264 * gd + 0.5 * bd + 128.0,
+               0.5 * rd - 0.418688 * gd - 0.081312 * bd + 128.0};
+}
+
+void ycbcr_to_rgb(double y, double cb, double cr, std::uint8_t& r, std::uint8_t& g,
+                  std::uint8_t& b) {
+  const double c = cb - 128.0, d = cr - 128.0;
+  auto clamp8 = [](double v) {
+    return static_cast<std::uint8_t>(std::clamp(std::lround(v), 0L, 255L));
+  };
+  r = clamp8(y + 1.402 * d);
+  g = clamp8(y - 0.344136 * c - 0.714136 * d);
+  b = clamp8(y + 1.772 * c);
+}
+
+}  // namespace iotsim::codecs::jpeg

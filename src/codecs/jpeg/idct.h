@@ -1,0 +1,34 @@
+// 8×8 forward/inverse DCT, quantisation tables and zig-zag order — the
+// numerical core of the JPEG kernel (the paper's A9 runs exactly this IDCT).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace iotsim::codecs::jpeg {
+
+using Block = std::array<double, 64>;      // spatial or frequency domain
+using QuantTable = std::array<int, 64>;    // natural (row-major) order
+
+/// Separable 2-D DCT-II on an 8×8 block (orthonormal scaling).
+void fdct_8x8(const Block& in, Block& out);
+
+/// Separable 2-D inverse DCT (DCT-III) — exact inverse of fdct_8x8.
+void idct_8x8(const Block& in, Block& out);
+
+/// Zig-zag scan order: zigzag_order[k] = natural index of the k-th coefficient.
+extern const std::array<int, 64> kZigzagOrder;
+
+/// ITU-T81 Annex K reference tables, scaled for quality ∈ [1,100].
+[[nodiscard]] QuantTable luminance_quant_table(int quality);
+[[nodiscard]] QuantTable chrominance_quant_table(int quality);
+
+/// Colour transforms (ITU-R BT.601, full range as JFIF specifies).
+struct Ycbcr {
+  double y, cb, cr;
+};
+[[nodiscard]] Ycbcr rgb_to_ycbcr(std::uint8_t r, std::uint8_t g, std::uint8_t b);
+void ycbcr_to_rgb(double y, double cb, double cr, std::uint8_t& r, std::uint8_t& g,
+                  std::uint8_t& b);
+
+}  // namespace iotsim::codecs::jpeg

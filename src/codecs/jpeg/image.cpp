@@ -1,0 +1,18 @@
+#include "codecs/jpeg/image.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace iotsim::codecs::jpeg {
+
+double mean_abs_error(const Image& a, const Image& b) {
+  assert(a.width == b.width && a.height == b.height);
+  if (a.rgb.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.rgb.size(); ++i) {
+    sum += std::abs(static_cast<double>(a.rgb[i]) - static_cast<double>(b.rgb[i]));
+  }
+  return sum / static_cast<double>(a.rgb.size());
+}
+
+}  // namespace iotsim::codecs::jpeg

@@ -1,0 +1,41 @@
+// Simple interleaved-RGB image buffer shared by the JPEG codec and the
+// camera signal generator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace iotsim::codecs::jpeg {
+
+struct Image {
+  int width = 0;
+  int height = 0;
+  std::vector<std::uint8_t> rgb;  // width*height*3, row-major
+
+  [[nodiscard]] bool valid() const {
+    return width > 0 && height > 0 &&
+           rgb.size() == static_cast<std::size_t>(width) * static_cast<std::size_t>(height) * 3;
+  }
+  [[nodiscard]] std::uint8_t* pixel(int x, int y) {
+    return rgb.data() + (static_cast<std::size_t>(y) * static_cast<std::size_t>(width) +
+                         static_cast<std::size_t>(x)) * 3;
+  }
+  [[nodiscard]] const std::uint8_t* pixel(int x, int y) const {
+    return rgb.data() + (static_cast<std::size_t>(y) * static_cast<std::size_t>(width) +
+                         static_cast<std::size_t>(x)) * 3;
+  }
+
+  [[nodiscard]] static Image allocate(int width, int height) {
+    Image img;
+    img.width = width;
+    img.height = height;
+    img.rgb.assign(static_cast<std::size_t>(width) * static_cast<std::size_t>(height) * 3, 0);
+    return img;
+  }
+};
+
+/// Mean absolute per-channel error between two equally-sized images.
+[[nodiscard]] double mean_abs_error(const Image& a, const Image& b);
+
+}  // namespace iotsim::codecs::jpeg

@@ -1,0 +1,35 @@
+// Baseline sequential JFIF decoder — the actual computation of workload A9
+// (Huffman entropy decode → dequantise → IDCT → YCbCr→RGB).
+//
+// Supports what the encoder produces and typical camera output: SOF0,
+// 8-bit samples, 1–3 components with 1×1 sampling, Huffman coding.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "codecs/jpeg/image.h"
+
+namespace iotsim::codecs::jpeg {
+
+struct DecodeStats {
+  int width = 0;
+  int height = 0;
+  int components = 0;
+  std::size_t blocks_decoded = 0;   // 8×8 IDCTs performed
+  std::size_t entropy_bytes = 0;
+};
+
+struct DecodeResult {
+  std::optional<Image> image;
+  DecodeStats stats;
+  std::string error;  // set when image is empty
+
+  [[nodiscard]] bool ok() const { return image.has_value(); }
+};
+
+[[nodiscard]] DecodeResult decode(std::span<const std::uint8_t> jfif);
+
+}  // namespace iotsim::codecs::jpeg

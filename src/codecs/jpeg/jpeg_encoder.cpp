@@ -1,0 +1,257 @@
+#include "codecs/jpeg/jpeg_encoder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "codecs/jpeg/huffman.h"
+#include "codecs/jpeg/idct.h"
+
+namespace iotsim::codecs::jpeg {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+}
+
+void put_marker(std::vector<std::uint8_t>& out, std::uint8_t marker) {
+  out.push_back(0xFF);
+  out.push_back(marker);
+}
+
+void write_app0(std::vector<std::uint8_t>& out) {
+  put_marker(out, 0xE0);
+  put_u16(out, 16);
+  const char id[] = "JFIF";
+  out.insert(out.end(), id, id + 5);
+  out.push_back(1);  // version 1.1
+  out.push_back(1);
+  out.push_back(0);  // aspect-ratio units
+  put_u16(out, 1);
+  put_u16(out, 1);
+  out.push_back(0);  // no thumbnail
+  out.push_back(0);
+}
+
+void write_dqt(std::vector<std::uint8_t>& out, int id, const QuantTable& table) {
+  put_marker(out, 0xDB);
+  put_u16(out, 67);
+  out.push_back(static_cast<std::uint8_t>(id));  // 8-bit precision, table id
+  for (int k = 0; k < 64; ++k) {
+    out.push_back(static_cast<std::uint8_t>(
+        table[static_cast<std::size_t>(kZigzagOrder[static_cast<std::size_t>(k)])]));
+  }
+}
+
+void write_sof0(std::vector<std::uint8_t>& out, int width, int height, bool subsample) {
+  put_marker(out, 0xC0);
+  put_u16(out, 17);
+  out.push_back(8);  // sample precision
+  put_u16(out, static_cast<std::uint16_t>(height));
+  put_u16(out, static_cast<std::uint16_t>(width));
+  out.push_back(3);  // components
+  // id, sampling factors, quant table id. 4:2:0 doubles luma's factors.
+  const std::uint8_t luma_sampling = subsample ? 0x22 : 0x11;
+  const std::uint8_t comps[3][3] = {{1, luma_sampling, 0}, {2, 0x11, 1}, {3, 0x11, 1}};
+  for (const auto& c : comps) {
+    out.push_back(c[0]);
+    out.push_back(c[1]);
+    out.push_back(c[2]);
+  }
+}
+
+void write_dht(std::vector<std::uint8_t>& out, int cls, int id, const HuffmanTable& table) {
+  put_marker(out, 0xC4);
+  const auto& bits = table.spec_bits();
+  const auto& vals = table.spec_vals();
+  put_u16(out, static_cast<std::uint16_t>(2 + 1 + 16 + vals.size()));
+  out.push_back(static_cast<std::uint8_t>((cls << 4) | id));
+  out.insert(out.end(), bits.begin(), bits.end());
+  out.insert(out.end(), vals.begin(), vals.end());
+}
+
+void write_sos(std::vector<std::uint8_t>& out) {
+  put_marker(out, 0xDA);
+  put_u16(out, 12);
+  out.push_back(3);
+  const std::uint8_t comps[3][2] = {{1, 0x00}, {2, 0x11}, {3, 0x11}};
+  for (const auto& c : comps) {
+    out.push_back(c[0]);
+    out.push_back(c[1]);
+  }
+  out.push_back(0);   // spectral start
+  out.push_back(63);  // spectral end
+  out.push_back(0);   // successive approximation
+}
+
+/// FDCT + quantise + entropy-code one 8×8 block of level-shifted samples.
+void encode_block(const double* samples, const QuantTable& quant, int& dc_pred,
+                  const HuffmanTable& dc_table, const HuffmanTable& ac_table,
+                  BitWriter& writer) {
+  Block shifted;
+  for (int i = 0; i < 64; ++i) shifted[static_cast<std::size_t>(i)] = samples[i] - 128.0;
+  Block freq;
+  fdct_8x8(shifted, freq);
+
+  int coeffs[64];
+  for (int k = 0; k < 64; ++k) {
+    const int natural = kZigzagOrder[static_cast<std::size_t>(k)];
+    coeffs[k] = static_cast<int>(std::lround(freq[static_cast<std::size_t>(natural)] /
+                                             quant[static_cast<std::size_t>(natural)]));
+  }
+
+  // DC difference.
+  const int diff = coeffs[0] - dc_pred;
+  dc_pred = coeffs[0];
+  const int dc_cat = bit_category(diff);
+  const auto dc_code = dc_table.encode(static_cast<std::uint8_t>(dc_cat));
+  assert(dc_code.length > 0);
+  writer.put_bits(dc_code.code, dc_code.length);
+  if (dc_cat > 0) writer.put_bits(magnitude_bits(diff, dc_cat), dc_cat);
+
+  // AC run-length coding.
+  int run = 0;
+  for (int k = 1; k < 64; ++k) {
+    if (coeffs[k] == 0) {
+      ++run;
+      continue;
+    }
+    while (run >= 16) {
+      const auto zrl = ac_table.encode(0xF0);
+      writer.put_bits(zrl.code, zrl.length);
+      run -= 16;
+    }
+    const int cat = bit_category(coeffs[k]);
+    const auto symbol = static_cast<std::uint8_t>((run << 4) | cat);
+    const auto code = ac_table.encode(symbol);
+    assert(code.length > 0);
+    writer.put_bits(code.code, code.length);
+    writer.put_bits(magnitude_bits(coeffs[k], cat), cat);
+    run = 0;
+  }
+  if (run > 0) {
+    const auto eob = ac_table.encode(0x00);
+    writer.put_bits(eob.code, eob.length);
+  }
+}
+
+/// Y/Cb/Cr value of the clamped pixel (px, py).
+Ycbcr pixel_ycbcr(const Image& image, int px, int py) {
+  const int x = std::clamp(px, 0, image.width - 1);
+  const int y = std::clamp(py, 0, image.height - 1);
+  const auto* rgb = image.pixel(x, y);
+  return rgb_to_ycbcr(rgb[0], rgb[1], rgb[2]);
+}
+
+/// Entropy data for 4:4:4 — one block per component per 8×8 MCU.
+void encode_scan_444(const Image& image, const QuantTable& luma_q, const QuantTable& chroma_q,
+                     BitWriter& writer) {
+  int dc_pred[3] = {0, 0, 0};
+  const int mcu_cols = (image.width + 7) / 8;
+  const int mcu_rows = (image.height + 7) / 8;
+  double plane[3][64];
+  for (int my = 0; my < mcu_rows; ++my) {
+    for (int mx = 0; mx < mcu_cols; ++mx) {
+      for (int y = 0; y < 8; ++y) {
+        for (int x = 0; x < 8; ++x) {
+          const Ycbcr c = pixel_ycbcr(image, mx * 8 + x, my * 8 + y);
+          plane[0][y * 8 + x] = c.y;
+          plane[1][y * 8 + x] = c.cb;
+          plane[2][y * 8 + x] = c.cr;
+        }
+      }
+      encode_block(plane[0], luma_q, dc_pred[0], HuffmanTable::dc_luminance(),
+                   HuffmanTable::ac_luminance(), writer);
+      encode_block(plane[1], chroma_q, dc_pred[1], HuffmanTable::dc_chrominance(),
+                   HuffmanTable::ac_chrominance(), writer);
+      encode_block(plane[2], chroma_q, dc_pred[2], HuffmanTable::dc_chrominance(),
+                   HuffmanTable::ac_chrominance(), writer);
+    }
+  }
+}
+
+/// Entropy data for 4:2:0 — 16×16 MCUs: 4 luma blocks then one 2×2-averaged
+/// block each of Cb and Cr.
+void encode_scan_420(const Image& image, const QuantTable& luma_q, const QuantTable& chroma_q,
+                     BitWriter& writer) {
+  int dc_pred[3] = {0, 0, 0};
+  const int mcu_cols = (image.width + 15) / 16;
+  const int mcu_rows = (image.height + 15) / 16;
+  double luma[4][64];
+  double cb[64], cr[64];
+  for (int my = 0; my < mcu_rows; ++my) {
+    for (int mx = 0; mx < mcu_cols; ++mx) {
+      // Four 8×8 luma blocks in raster order within the 16×16 MCU.
+      for (int block = 0; block < 4; ++block) {
+        const int ox = mx * 16 + (block % 2) * 8;
+        const int oy = my * 16 + (block / 2) * 8;
+        for (int y = 0; y < 8; ++y) {
+          for (int x = 0; x < 8; ++x) {
+            luma[block][y * 8 + x] = pixel_ycbcr(image, ox + x, oy + y).y;
+          }
+        }
+      }
+      // Chroma: 2×2 box average across the 16×16 region.
+      for (int y = 0; y < 8; ++y) {
+        for (int x = 0; x < 8; ++x) {
+          double sum_cb = 0.0, sum_cr = 0.0;
+          for (int dy = 0; dy < 2; ++dy) {
+            for (int dx = 0; dx < 2; ++dx) {
+              const Ycbcr c =
+                  pixel_ycbcr(image, mx * 16 + x * 2 + dx, my * 16 + y * 2 + dy);
+              sum_cb += c.cb;
+              sum_cr += c.cr;
+            }
+          }
+          cb[y * 8 + x] = sum_cb / 4.0;
+          cr[y * 8 + x] = sum_cr / 4.0;
+        }
+      }
+      for (int block = 0; block < 4; ++block) {
+        encode_block(luma[block], luma_q, dc_pred[0], HuffmanTable::dc_luminance(),
+                     HuffmanTable::ac_luminance(), writer);
+      }
+      encode_block(cb, chroma_q, dc_pred[1], HuffmanTable::dc_chrominance(),
+                   HuffmanTable::ac_chrominance(), writer);
+      encode_block(cr, chroma_q, dc_pred[2], HuffmanTable::dc_chrominance(),
+                   HuffmanTable::ac_chrominance(), writer);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const Image& image, const EncoderConfig& cfg) {
+  assert(image.valid());
+  const QuantTable luma_q = luminance_quant_table(cfg.quality);
+  const QuantTable chroma_q = chrominance_quant_table(cfg.quality);
+
+  std::vector<std::uint8_t> out;
+  put_marker(out, 0xD8);  // SOI
+  write_app0(out);
+  write_dqt(out, 0, luma_q);
+  write_dqt(out, 1, chroma_q);
+  write_sof0(out, image.width, image.height, cfg.subsample_420);
+  write_dht(out, 0, 0, HuffmanTable::dc_luminance());
+  write_dht(out, 1, 0, HuffmanTable::ac_luminance());
+  write_dht(out, 0, 1, HuffmanTable::dc_chrominance());
+  write_dht(out, 1, 1, HuffmanTable::ac_chrominance());
+  write_sos(out);
+
+  BitWriter writer;
+  if (cfg.subsample_420) {
+    encode_scan_420(image, luma_q, chroma_q, writer);
+  } else {
+    encode_scan_444(image, luma_q, chroma_q, writer);
+  }
+  writer.flush();
+  const auto& entropy = writer.bytes();
+  out.insert(out.end(), entropy.begin(), entropy.end());
+
+  put_marker(out, 0xD9);  // EOI
+  return out;
+}
+
+}  // namespace iotsim::codecs::jpeg

@@ -1,0 +1,25 @@
+// Baseline sequential JFIF encoder (SOF0, 4:4:4, Annex K tables).
+//
+// Provides the compressed frames the camera sensor (S10) emits and the
+// ground truth for round-trip tests of the A9 decoder kernel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codecs/jpeg/image.h"
+
+namespace iotsim::codecs::jpeg {
+
+struct EncoderConfig {
+  int quality = 75;  // 1..100
+  /// 4:2:0 chroma subsampling (what camera modules typically emit): 16×16
+  /// MCUs with box-averaged chroma, ~30-40% smaller streams.
+  bool subsample_420 = false;
+};
+
+/// Encodes an RGB image to a JFIF byte stream. Width/height need not be
+/// multiples of the MCU size (edge blocks replicate border pixels).
+[[nodiscard]] std::vector<std::uint8_t> encode(const Image& image, const EncoderConfig& cfg = {});
+
+}  // namespace iotsim::codecs::jpeg

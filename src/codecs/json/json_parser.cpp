@@ -1,0 +1,210 @@
+#include "codecs/json/json_parser.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+
+namespace iotsim::codecs::json {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_{text} {}
+
+  ParseResult run() {
+    skip_ws();
+    auto v = parse_value();
+    if (failed_) return {std::nullopt, ParseError{pos_, message_}};
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return {std::nullopt, ParseError{pos_, "trailing characters"}};
+    }
+    return {std::move(v), std::nullopt};
+  }
+
+ private:
+  Value parse_value() {
+    if (failed_) return {};
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string();
+      case 't': return parse_literal("true", Value{true});
+      case 'f': return parse_literal("false", Value{false});
+      case 'n': return parse_literal("null", Value{nullptr});
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    ++pos_;  // '{'
+    Object obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Value{std::move(obj)};
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') return fail("expected object key");
+      Value key = parse_string();
+      if (failed_) return {};
+      skip_ws();
+      if (peek() != ':') return fail("expected ':'");
+      ++pos_;
+      skip_ws();
+      Value val = parse_value();
+      if (failed_) return {};
+      obj.emplace(key.as_string(), std::move(val));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return Value{std::move(obj)};
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  Value parse_array() {
+    ++pos_;  // '['
+    Array arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value{std::move(arr)};
+    }
+    while (true) {
+      skip_ws();
+      Value v = parse_value();
+      if (failed_) return {};
+      arr.push_back(std::move(v));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return Value{std::move(arr)};
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  Value parse_string() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return Value{std::move(out)};
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return fail("bad escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+              else return fail("bad hex digit");
+            }
+            append_utf8(out, code);
+            break;
+          }
+          default: return fail("unknown escape");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("control character in string");
+      } else {
+        out += c;
+        ++pos_;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected value");
+    double d = 0.0;
+    const auto [ptr, ec] = std::from_chars(text_.data() + start, text_.data() + pos_, d);
+    if (ec != std::errc{} || ptr != text_.data() + pos_) return fail("bad number");
+    return Value{d};
+  }
+
+  Value parse_literal(std::string_view lit, Value v) {
+    if (text_.substr(pos_, lit.size()) != lit) return fail("bad literal");
+    pos_ += lit.size();
+    return v;
+  }
+
+  static void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  Value fail(std::string msg) {
+    if (!failed_) {
+      failed_ = true;
+      message_ = std::move(msg);
+    }
+    return {};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+  std::string message_;
+};
+
+}  // namespace
+
+ParseResult parse(std::string_view text) { return Parser{text}.run(); }
+
+}  // namespace iotsim::codecs::json

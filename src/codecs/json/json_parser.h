@@ -1,0 +1,27 @@
+// Recursive-descent JSON parser (RFC 8259 subset: no surrogate-pair
+// validation in \u escapes — they decode as UTF-8 code points directly).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "codecs/json/json_value.h"
+
+namespace iotsim::codecs::json {
+
+struct ParseError {
+  std::size_t offset;
+  std::string message;
+};
+
+struct ParseResult {
+  std::optional<Value> value;   // set on success
+  std::optional<ParseError> error;
+
+  [[nodiscard]] bool ok() const { return value.has_value(); }
+};
+
+[[nodiscard]] ParseResult parse(std::string_view text);
+
+}  // namespace iotsim::codecs::json

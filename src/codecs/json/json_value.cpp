@@ -1,0 +1,28 @@
+#include "codecs/json/json_value.h"
+
+namespace iotsim::codecs::json {
+
+Value& Value::operator[](const std::string& key) {
+  if (is_null()) v_ = Object{};
+  return as_object()[key];
+}
+
+const Value* Value::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  const auto& obj = as_object();
+  auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+void Value::push_back(Value v) {
+  if (is_null()) v_ = Array{};
+  as_array().push_back(std::move(v));
+}
+
+std::size_t Value::size() const {
+  if (is_array()) return as_array().size();
+  if (is_object()) return as_object().size();
+  return 0;
+}
+
+}  // namespace iotsim::codecs::json

@@ -1,0 +1,65 @@
+// A small JSON DOM — the reproduction's stand-in for the ArduinoJson
+// library exercised by workload A3 and the payload builder for the cloud
+// clients (A4 M2X, A5 Blynk, A6 Dropbox).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace iotsim::codecs::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  using Storage = std::variant<std::nullptr_t, bool, double, std::string, Array, Object>;
+
+  Value() : v_{nullptr} {}
+  Value(std::nullptr_t) : v_{nullptr} {}
+  Value(bool b) : v_{b} {}
+  Value(double d) : v_{d} {}
+  Value(int i) : v_{static_cast<double>(i)} {}
+  Value(std::int64_t i) : v_{static_cast<double>(i)} {}
+  Value(const char* s) : v_{std::string{s}} {}
+  Value(std::string s) : v_{std::move(s)} {}
+  Value(Array a) : v_{std::move(a)} {}
+  Value(Object o) : v_{std::move(o)} {}
+
+  [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  [[nodiscard]] bool is_number() const { return std::holds_alternative<double>(v_); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  [[nodiscard]] bool is_array() const { return std::holds_alternative<Array>(v_); }
+  [[nodiscard]] bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(v_); }
+  [[nodiscard]] double as_number() const { return std::get<double>(v_); }
+  [[nodiscard]] const std::string& as_string() const { return std::get<std::string>(v_); }
+  [[nodiscard]] const Array& as_array() const { return std::get<Array>(v_); }
+  [[nodiscard]] Array& as_array() { return std::get<Array>(v_); }
+  [[nodiscard]] const Object& as_object() const { return std::get<Object>(v_); }
+  [[nodiscard]] Object& as_object() { return std::get<Object>(v_); }
+
+  /// Object access; creates members on mutable access (converting a null
+  /// value into an object first, ArduinoJson-style).
+  Value& operator[](const std::string& key);
+  [[nodiscard]] const Value* find(const std::string& key) const;
+
+  /// Array append (converts null to array first).
+  void push_back(Value v);
+
+  [[nodiscard]] std::size_t size() const;
+
+  friend bool operator==(const Value& a, const Value& b) { return a.v_ == b.v_; }
+
+ private:
+  Storage v_;
+};
+
+}  // namespace iotsim::codecs::json

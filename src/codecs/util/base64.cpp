@@ -1,0 +1,79 @@
+#include "codecs/util/base64.h"
+
+#include <array>
+
+namespace iotsim::codecs::util {
+
+namespace {
+constexpr char kAlphabet[] = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+std::array<int, 256> build_reverse() {
+  std::array<int, 256> rev{};
+  rev.fill(-1);
+  for (int i = 0; i < 64; ++i) rev[static_cast<unsigned char>(kAlphabet[i])] = i;
+  return rev;
+}
+}  // namespace
+
+std::string base64_encode(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= data.size(); i += 3) {
+    const std::uint32_t n = (static_cast<std::uint32_t>(data[i]) << 16) |
+                            (static_cast<std::uint32_t>(data[i + 1]) << 8) | data[i + 2];
+    out += kAlphabet[(n >> 18) & 63];
+    out += kAlphabet[(n >> 12) & 63];
+    out += kAlphabet[(n >> 6) & 63];
+    out += kAlphabet[n & 63];
+  }
+  const std::size_t rem = data.size() - i;
+  if (rem == 1) {
+    const std::uint32_t n = static_cast<std::uint32_t>(data[i]) << 16;
+    out += kAlphabet[(n >> 18) & 63];
+    out += kAlphabet[(n >> 12) & 63];
+    out += "==";
+  } else if (rem == 2) {
+    const std::uint32_t n = (static_cast<std::uint32_t>(data[i]) << 16) |
+                            (static_cast<std::uint32_t>(data[i + 1]) << 8);
+    out += kAlphabet[(n >> 18) & 63];
+    out += kAlphabet[(n >> 12) & 63];
+    out += kAlphabet[(n >> 6) & 63];
+    out += '=';
+  }
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> base64_decode(std::string_view text) {
+  static const std::array<int, 256> rev = build_reverse();
+  if (text.size() % 4 != 0) return std::nullopt;
+  std::vector<std::uint8_t> out;
+  out.reserve(text.size() / 4 * 3);
+  for (std::size_t i = 0; i < text.size(); i += 4) {
+    int vals[4];
+    int pad = 0;
+    for (int k = 0; k < 4; ++k) {
+      const char c = text[i + static_cast<std::size_t>(k)];
+      if (c == '=') {
+        // Padding is only legal in the last two positions of the last group.
+        if (i + 4 != text.size() || k < 2) return std::nullopt;
+        vals[k] = 0;
+        ++pad;
+      } else {
+        if (pad > 0) return std::nullopt;  // data after padding
+        vals[k] = rev[static_cast<unsigned char>(c)];
+        if (vals[k] < 0) return std::nullopt;
+      }
+    }
+    const std::uint32_t n = (static_cast<std::uint32_t>(vals[0]) << 18) |
+                            (static_cast<std::uint32_t>(vals[1]) << 12) |
+                            (static_cast<std::uint32_t>(vals[2]) << 6) |
+                            static_cast<std::uint32_t>(vals[3]);
+    out.push_back(static_cast<std::uint8_t>((n >> 16) & 0xFF));
+    if (pad < 2) out.push_back(static_cast<std::uint8_t>((n >> 8) & 0xFF));
+    if (pad < 1) out.push_back(static_cast<std::uint8_t>(n & 0xFF));
+  }
+  return out;
+}
+
+}  // namespace iotsim::codecs::util

@@ -1,0 +1,16 @@
+// Base64 (RFC 4648) — used by the cloud-client kernels to wrap binary
+// sensor payloads in JSON.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace iotsim::codecs::util {
+
+[[nodiscard]] std::string base64_encode(std::span<const std::uint8_t> data);
+[[nodiscard]] std::optional<std::vector<std::uint8_t>> base64_decode(std::string_view text);
+
+}  // namespace iotsim::codecs::util

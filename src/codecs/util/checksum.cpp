@@ -1,0 +1,49 @@
+#include "codecs/util/checksum.h"
+
+#include <array>
+#include <cassert>
+
+namespace iotsim::codecs::util {
+
+namespace {
+std::array<std::uint32_t, 256> build_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  static const auto table = build_crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::uint8_t byte : data) crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void RollingAdler32::init(std::span<const std::uint8_t> first_window) {
+  assert(first_window.size() == window_);
+  a_ = 1;
+  b_ = 0;
+  for (std::uint8_t byte : first_window) {
+    a_ = (a_ + byte) % kMod;
+    b_ = (b_ + a_) % kMod;
+  }
+}
+
+void RollingAdler32::roll(std::uint8_t out_byte, std::uint8_t in_byte) {
+  // a' = a - out + in; b' = b - window·out + a' - 1   (all mod 65521)
+  std::int64_t a2 = (static_cast<std::int64_t>(a_) - out_byte + in_byte) % kMod;
+  if (a2 < 0) a2 += kMod;
+  std::int64_t b2 = (static_cast<std::int64_t>(b_) -
+                     static_cast<std::int64_t>(window_) * out_byte + a2 - 1) %
+                    kMod;
+  if (b2 < 0) b2 += kMod;
+  a_ = static_cast<std::uint32_t>(a2);
+  b_ = static_cast<std::uint32_t>(b2);
+}
+
+}  // namespace iotsim::codecs::util

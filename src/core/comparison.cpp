@@ -1,0 +1,63 @@
+#include "core/comparison.h"
+
+#include <cassert>
+
+#include "core/scenario_runner.h"
+#include "trace/table_printer.h"
+
+namespace iotsim::core {
+
+SchemeComparison::SchemeComparison(Scenario scenario, std::map<Scheme, ScenarioResult> results,
+                                   Scheme reference)
+    : scenario_{std::move(scenario)}, results_{std::move(results)}, reference_{reference} {
+  assert(results_.contains(reference_));
+}
+
+double SchemeComparison::savings(Scheme s) const {
+  return result(s).energy.savings_vs(reference().energy);
+}
+
+double SchemeComparison::normalized(Scheme s) const {
+  return result(s).energy.normalized_to(reference().energy);
+}
+
+double SchemeComparison::routine_share(Scheme s, energy::Routine r) const {
+  const double base = reference().total_joules();
+  return base > 0.0 ? result(s).energy.paper_joules(r) / base : 0.0;
+}
+
+double SchemeComparison::speedup(Scheme s, apps::AppId app) const {
+  const double ref_busy =
+      reference().apps.at(app).busy_per_window.total().to_seconds();
+  const double busy = result(s).apps.at(app).busy_per_window.total().to_seconds();
+  return busy > 0.0 ? ref_busy / busy : 0.0;
+}
+
+std::string SchemeComparison::render_table() const {
+  trace::TablePrinter t{{"Scheme", "Energy (J)", "Norm.", "Savings", "DataColl%", "Interrupt%",
+                         "DataTransfer%", "Computing%", "Interrupts", "QoS"}};
+  using TP = trace::TablePrinter;
+  for (const auto& [scheme, r] : results_) {
+    t.add_row({std::string{to_string(scheme)}, TP::num(r.total_joules(), 4),
+               TP::num(normalized(scheme), 3), TP::pct(savings(scheme)),
+               TP::num(routine_share(scheme, energy::Routine::kDataCollection) * 100.0, 3),
+               TP::num(routine_share(scheme, energy::Routine::kInterrupt) * 100.0, 3),
+               TP::num(routine_share(scheme, energy::Routine::kDataTransfer) * 100.0, 3),
+               TP::num(routine_share(scheme, energy::Routine::kComputation) * 100.0, 3),
+               std::to_string(r.interrupts_raised), r.qos_met ? "met" : "MISSED"});
+  }
+  return t.render();
+}
+
+SchemeComparison compare_schemes(Scenario scenario, std::vector<Scheme> schemes) {
+  assert(!schemes.empty());
+  std::map<Scheme, ScenarioResult> results;
+  for (Scheme s : schemes) {
+    Scenario sc = scenario;
+    sc.scheme = s;
+    results.emplace(s, run_scenario(std::move(sc)));
+  }
+  return SchemeComparison{std::move(scenario), std::move(results), schemes.front()};
+}
+
+}  // namespace iotsim::core

@@ -1,0 +1,46 @@
+// Scheme comparison — the Fig. 9/10-style experiment as a library call:
+// run one scenario under several schemes and report savings, breakdowns
+// and QoS side by side.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/reports.h"
+#include "core/scenario.h"
+
+namespace iotsim::core {
+
+class SchemeComparison {
+ public:
+  SchemeComparison(Scenario scenario, std::map<Scheme, ScenarioResult> results,
+                   Scheme reference);
+
+  [[nodiscard]] const ScenarioResult& result(Scheme s) const { return results_.at(s); }
+  [[nodiscard]] const ScenarioResult& reference() const { return results_.at(reference_); }
+  [[nodiscard]] bool has(Scheme s) const { return results_.contains(s); }
+
+  /// 1 − scheme/reference energy (the paper's "% savings").
+  [[nodiscard]] double savings(Scheme s) const;
+  /// Scheme energy normalised to the reference (bar height).
+  [[nodiscard]] double normalized(Scheme s) const;
+  /// Reference-normalised energy fraction of a paper routine under `s`.
+  [[nodiscard]] double routine_share(Scheme s, energy::Routine r) const;
+  /// Busy-path speedup of `s` over the reference for one app (Fig. 13).
+  [[nodiscard]] double speedup(Scheme s, apps::AppId app) const;
+
+  /// Paper-shaped console table (one row per scheme).
+  [[nodiscard]] std::string render_table() const;
+
+ private:
+  Scenario scenario_;
+  std::map<Scheme, ScenarioResult> results_;
+  Scheme reference_;
+};
+
+/// Runs `scenario` once per scheme (identical seed/world per run). The first
+/// scheme is the normalisation reference (conventionally kBaseline).
+[[nodiscard]] SchemeComparison compare_schemes(Scenario scenario, std::vector<Scheme> schemes);
+
+}  // namespace iotsim::core

@@ -1,0 +1,48 @@
+#include "core/qos.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace iotsim::core {
+
+void QosChecker::record_window(apps::AppId id, sim::SimTime window_start,
+                               sim::SimTime output_time) {
+  auto& s = stats_[id];
+  ++s.windows;
+  const sim::Duration latency = output_time - window_start;
+  s.total_latency += latency;
+  s.worst_latency = std::max(s.worst_latency, latency);
+  const auto& spec = apps::spec_of(id);
+  const auto deadline = sim::Duration::from_seconds(spec.window.to_seconds() * kDeadlineFactor);
+  if (latency > deadline) ++s.deadline_misses;
+}
+
+void QosChecker::record_sample_jitter(apps::AppId id, sim::Duration jitter) {
+  auto& s = stats_[id];
+  s.worst_sample_jitter = std::max(s.worst_sample_jitter, jitter);
+}
+
+const AppQos& QosChecker::of(apps::AppId id) const {
+  static const AppQos kEmpty;
+  auto it = stats_.find(id);
+  return it == stats_.end() ? kEmpty : it->second;
+}
+
+bool QosChecker::all_met() const {
+  for (const auto& [_, s] : stats_) {
+    if (s.deadline_misses > 0) return false;
+  }
+  return true;
+}
+
+std::string QosChecker::summary() const {
+  std::ostringstream os;
+  for (const auto& [id, s] : stats_) {
+    os << apps::code_of(id) << ": windows=" << s.windows << " misses=" << s.deadline_misses
+       << " mean_latency=" << s.mean_latency().to_ms() << "ms worst="
+       << s.worst_latency.to_ms() << "ms jitter=" << s.worst_sample_jitter.to_ms() << "ms\n";
+  }
+  return os.str();
+}
+
+}  // namespace iotsim::core

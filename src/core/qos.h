@@ -1,0 +1,43 @@
+// QoS bookkeeping: did every app deliver its user-level output in time, and
+// did sampling hold its rate? (§III-A's constraint: optimisations must not
+// violate the app's QoS.)
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/workload_spec.h"
+#include "sim/sim_time.h"
+
+namespace iotsim::core {
+
+struct AppQos {
+  std::size_t windows = 0;
+  std::size_t deadline_misses = 0;
+  sim::Duration worst_latency = sim::Duration::zero();   // output after window start
+  sim::Duration total_latency = sim::Duration::zero();
+  sim::Duration worst_sample_jitter = sim::Duration::zero();
+
+  [[nodiscard]] sim::Duration mean_latency() const {
+    return windows == 0 ? sim::Duration::zero() : total_latency / static_cast<std::int64_t>(windows);
+  }
+};
+
+class QosChecker {
+ public:
+  /// Default slack beyond the window before an output counts as late.
+  static constexpr double kDeadlineFactor = 2.5;
+
+  void record_window(apps::AppId id, sim::SimTime window_start, sim::SimTime output_time);
+  void record_sample_jitter(apps::AppId id, sim::Duration jitter);
+
+  [[nodiscard]] const AppQos& of(apps::AppId id) const;
+  [[nodiscard]] bool all_met() const;
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::map<apps::AppId, AppQos> stats_;
+};
+
+}  // namespace iotsim::core

@@ -1,0 +1,73 @@
+// Results of a scenario run, in the shapes the paper's figures need.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/workload_spec.h"
+#include "core/offload_planner.h"
+#include "core/qos.h"
+#include "core/scheme.h"
+#include "energy/energy_report.h"
+#include "trace/power_trace.h"
+
+namespace iotsim::core {
+
+/// One app window's user-level outcome.
+struct WindowRecord {
+  int window = 0;
+  sim::SimTime started;
+  sim::SimTime completed;
+  std::string summary;
+  double metric = 0.0;
+  bool event = false;
+};
+
+/// Per-app busy time on the app's critical path, split by routine — the
+/// paper's Fig. 8 timing breakdown. Averaged per window.
+struct BusyBreakdown {
+  sim::Duration data_collection;
+  sim::Duration interrupt;
+  sim::Duration data_transfer;
+  sim::Duration computation;
+
+  [[nodiscard]] sim::Duration total() const {
+    return data_collection + interrupt + data_transfer + computation;
+  }
+};
+
+struct AppResult {
+  std::vector<WindowRecord> records;
+  AppQos qos;
+  BusyBreakdown busy_per_window;  // averaged over windows
+  AppMode mode = AppMode::kPerSample;
+  std::size_t heap_peak_bytes = 0;
+  std::size_t stack_peak_bytes = 0;
+  std::uint64_t instructions = 0;
+};
+
+struct ScenarioResult {
+  Scheme scheme{};
+  energy::EnergyReport energy;
+  sim::Duration span;
+  std::map<apps::AppId, AppResult> apps;
+  OffloadPlan plan;
+  /// Runtime adjustments (e.g. batch-buffer fallback to per-sample).
+  std::map<apps::AppId, std::string> notes;
+  std::uint64_t interrupts_raised = 0;
+  std::uint64_t cpu_wakeups = 0;
+  /// §II-B Task I availability-check failures (retried by the driver).
+  std::uint64_t sensor_read_errors = 0;
+  bool qos_met = true;
+  std::string qos_summary;
+  /// Present when Scenario::record_power_trace was set.
+  std::shared_ptr<trace::PowerTrace> power_trace;
+
+  [[nodiscard]] double total_joules() const { return energy.total_joules(); }
+  /// Energy per simulated window second — the figure-normalisation basis.
+  [[nodiscard]] double average_watts() const { return energy.average_watts(); }
+};
+
+}  // namespace iotsim::core

@@ -1,0 +1,108 @@
+#include "core/result_json.h"
+
+#include "codecs/json/json_writer.h"
+
+namespace iotsim::core {
+
+namespace {
+
+using codecs::json::Value;
+
+Value busy_to_json(const BusyBreakdown& b) {
+  Value v;
+  v["data_collection_ms"] = Value{b.data_collection.to_ms()};
+  v["interrupt_ms"] = Value{b.interrupt.to_ms()};
+  v["data_transfer_ms"] = Value{b.data_transfer.to_ms()};
+  v["computation_ms"] = Value{b.computation.to_ms()};
+  v["total_ms"] = Value{b.total().to_ms()};
+  return v;
+}
+
+Value qos_to_json(const AppQos& q) {
+  Value v;
+  v["windows"] = Value{static_cast<int>(q.windows)};
+  v["deadline_misses"] = Value{static_cast<int>(q.deadline_misses)};
+  v["mean_latency_ms"] = Value{q.mean_latency().to_ms()};
+  v["worst_latency_ms"] = Value{q.worst_latency.to_ms()};
+  v["worst_sample_jitter_ms"] = Value{q.worst_sample_jitter.to_ms()};
+  return v;
+}
+
+Value app_to_json(const AppResult& a) {
+  Value v;
+  v["mode"] = Value{std::string{to_string(a.mode)}};
+  v["heap_peak_bytes"] = Value{static_cast<double>(a.heap_peak_bytes)};
+  v["stack_peak_bytes"] = Value{static_cast<double>(a.stack_peak_bytes)};
+  v["instructions"] = Value{static_cast<double>(a.instructions)};
+  v["qos"] = qos_to_json(a.qos);
+  v["busy_per_window"] = busy_to_json(a.busy_per_window);
+  Value records;
+  for (const auto& rec : a.records) {
+    Value r;
+    r["window"] = Value{rec.window};
+    r["started_s"] = Value{rec.started.to_seconds()};
+    r["completed_s"] = Value{rec.completed.to_seconds()};
+    r["summary"] = Value{rec.summary};
+    r["metric"] = Value{rec.metric};
+    r["event"] = Value{rec.event};
+    records.push_back(std::move(r));
+  }
+  v["records"] = std::move(records);
+  return v;
+}
+
+}  // namespace
+
+Value to_json(const ScenarioResult& result) {
+  Value v;
+  v["scheme"] = Value{std::string{to_string(result.scheme)}};
+  v["span_s"] = Value{result.span.to_seconds()};
+  v["total_joules"] = Value{result.total_joules()};
+  v["average_watts"] = Value{result.average_watts()};
+  v["interrupts_raised"] = Value{static_cast<double>(result.interrupts_raised)};
+  v["cpu_wakeups"] = Value{static_cast<double>(result.cpu_wakeups)};
+  v["qos_met"] = Value{result.qos_met};
+
+  Value energy;
+  for (auto r : energy::kAllRoutines) {
+    energy[std::string{to_string(r)}] = Value{result.energy.joules(r)};
+  }
+  v["energy_by_routine_j"] = std::move(energy);
+
+  Value components;
+  for (const auto& [name, row] : result.energy.by_component()) {
+    double total = 0.0;
+    for (double j : row) total += j;
+    components[name] = Value{total};
+  }
+  v["energy_by_component_j"] = std::move(components);
+
+  Value apps_v;
+  for (const auto& [id, res] : result.apps) {
+    apps_v[std::string{apps::code_of(id)}] = app_to_json(res);
+  }
+  v["apps"] = std::move(apps_v);
+
+  Value plan;
+  for (const auto& [id, d] : result.plan.decisions) {
+    Value decision;
+    decision["offload"] = Value{d.offload};
+    decision["reason"] = Value{d.reason};
+    plan[std::string{apps::code_of(id)}] = std::move(decision);
+  }
+  v["offload_plan"] = std::move(plan);
+  v["mcu_ram_used_bytes"] = Value{static_cast<double>(result.plan.mcu_ram_used)};
+
+  Value notes;
+  for (const auto& [id, note] : result.notes) {
+    notes[std::string{apps::code_of(id)}] = Value{note};
+  }
+  v["notes"] = std::move(notes);
+  return v;
+}
+
+std::string to_json_text(const ScenarioResult& result) {
+  return codecs::json::dump(to_json(result));
+}
+
+}  // namespace iotsim::core

@@ -1,0 +1,19 @@
+// JSON export of a ScenarioResult (via the library's own JSON codec) — a
+// machine-readable interface for downstream tooling and plotting scripts.
+#pragma once
+
+#include <string>
+
+#include "codecs/json/json_value.h"
+#include "core/reports.h"
+
+namespace iotsim::core {
+
+/// Builds the full result document: scheme, span, per-routine energy,
+/// per-component energy, per-app records/QoS/busy breakdown, plan, notes.
+[[nodiscard]] codecs::json::Value to_json(const ScenarioResult& result);
+
+/// Compact JSON text of to_json(result).
+[[nodiscard]] std::string to_json_text(const ScenarioResult& result);
+
+}  // namespace iotsim::core

@@ -1,0 +1,35 @@
+// Scenario description: which apps, which scheme, how long, which world.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/workload_spec.h"
+#include "core/scheme.h"
+#include "hw/boards.h"
+#include "sensors/sensor_catalog.h"
+
+namespace iotsim::core {
+
+struct Scenario {
+  std::vector<apps::AppId> app_ids;
+  Scheme scheme = Scheme::kBaseline;
+  /// Number of QoS windows to simulate (sampling runs windows × 1 s).
+  int windows = 5;
+  std::uint64_t seed = 42;
+  sensors::WorldConfig world;
+  hw::HubSpec hub = hw::default_hub_spec();
+  /// Attach a power trace (needed for Fig. 5-style timelines; off by
+  /// default to keep long sweeps lean).
+  bool record_power_trace = false;
+
+  /// kBatched: MCU→CPU flushes per window. 1 = the paper's Batching (one
+  /// interrupt per window); large values converge back towards Baseline —
+  /// the batch-size ablation knob.
+  int batch_flushes_per_window = 1;
+  /// Scales every app's MCU kernel time (COM sensitivity ablation:
+  /// >1 = slower MCU, <1 = faster).
+  double mcu_speed_factor = 1.0;
+};
+
+}  // namespace iotsim::core

@@ -1,0 +1,38 @@
+// Assembles a Scenario into a live simulation — hub, sensors, streams,
+// executors — runs it to completion and collects the ScenarioResult.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/app_executor.h"
+#include "core/offload_planner.h"
+#include "core/reports.h"
+#include "core/scenario.h"
+
+namespace iotsim::core {
+
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(Scenario scenario) : scenario_{std::move(scenario)} {}
+
+  /// Runs the whole scenario; every call builds a fresh simulation.
+  [[nodiscard]] ScenarioResult run();
+
+ private:
+  struct Build;  // all per-run state (simulator, hub, streams, executors)
+
+  [[nodiscard]] sim::Task<void> stream_sampler(Build& b, SensorStream* stream);
+  [[nodiscard]] sim::Task<void> stream_cpu_handler(Build& b, SensorStream* stream);
+
+  [[nodiscard]] AppMode mode_for(apps::AppId id, const OffloadPlan& plan) const;
+
+  Scenario scenario_;
+};
+
+/// Convenience: run one scenario.
+[[nodiscard]] ScenarioResult run_scenario(Scenario scenario);
+
+}  // namespace iotsim::core

@@ -1,0 +1,43 @@
+// The five execution schemes the paper evaluates.
+#pragma once
+
+#include <string_view>
+
+namespace iotsim::core {
+
+enum class Scheme : unsigned char {
+  kBaseline = 0,  // per-sample interrupts, compute on CPU (§II)
+  kBatching,      // MCU buffers a window, one interrupt (§III-A)
+  kCom,           // computation offloaded to the MCU (§III-B)
+  kBeam,          // sensor-sharing across concurrent apps (BEAM [4])
+  kBcom,          // Batching for heavy apps + COM for light apps (§IV-E3)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Scheme s) {
+  switch (s) {
+    case Scheme::kBaseline: return "Baseline";
+    case Scheme::kBatching: return "Batching";
+    case Scheme::kCom: return "COM";
+    case Scheme::kBeam: return "BEAM";
+    case Scheme::kBcom: return "BCOM";
+  }
+  return "?";
+}
+
+/// How one app executes under a scheme.
+enum class AppMode : unsigned char {
+  kPerSample = 0,  // baseline: interrupt + transfer per sample
+  kBatched,        // one interrupt + bulk transfer per window
+  kOffloaded,      // kernel runs on the MCU; CPU sleeps
+};
+
+[[nodiscard]] constexpr std::string_view to_string(AppMode m) {
+  switch (m) {
+    case AppMode::kPerSample: return "per-sample";
+    case AppMode::kBatched: return "batched";
+    case AppMode::kOffloaded: return "offloaded";
+  }
+  return "?";
+}
+
+}  // namespace iotsim::core

@@ -1,0 +1,79 @@
+#include "dsp/fft.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace iotsim::dsp {
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+std::size_t next_pow2(std::size_t n) {
+  assert(n >= 1);
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft(std::span<std::complex<double>> data) {
+  const std::size_t n = data.size();
+  assert(is_pow2(n));
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = -2.0 * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> wlen{std::cos(angle), std::sin(angle)};
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w{1.0, 0.0};
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+void ifft(std::span<std::complex<double>> data) {
+  for (auto& x : data) x = std::conj(x);
+  fft(data);
+  const double inv_n = 1.0 / static_cast<double>(data.size());
+  for (auto& x : data) x = std::conj(x) * inv_n;
+}
+
+std::vector<std::complex<double>> fft_real(std::span<const double> signal) {
+  const std::size_t n = next_pow2(signal.size());
+  std::vector<std::complex<double>> data(n);
+  for (std::size_t i = 0; i < signal.size(); ++i) data[i] = {signal[i], 0.0};
+  fft(data);
+  return data;
+}
+
+std::vector<double> power_spectrum(std::span<const double> signal) {
+  const auto spectrum = fft_real(signal);
+  const std::size_t half = spectrum.size() / 2 + 1;
+  std::vector<double> power(half);
+  for (std::size_t i = 0; i < half; ++i) power[i] = std::norm(spectrum[i]);
+  return power;
+}
+
+std::vector<double> hann_window(std::size_t n) {
+  std::vector<double> w(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = 0.5 - 0.5 * std::cos(2.0 * std::numbers::pi * static_cast<double>(i) /
+                                static_cast<double>(n > 1 ? n - 1 : 1));
+  }
+  return w;
+}
+
+}  // namespace iotsim::dsp

@@ -1,0 +1,35 @@
+// Radix-2 decimation-in-time FFT and spectral helpers.
+//
+// Used by the speech-to-text front-end (MFCC) and available to app kernels.
+// No external dependencies; sizes must be powers of two.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace iotsim::dsp {
+
+/// In-place iterative radix-2 FFT. `data.size()` must be a power of two.
+void fft(std::span<std::complex<double>> data);
+
+/// In-place inverse FFT (normalised by 1/N).
+void ifft(std::span<std::complex<double>> data);
+
+/// FFT of a real signal; returns the full complex spectrum (size N).
+[[nodiscard]] std::vector<std::complex<double>> fft_real(std::span<const double> signal);
+
+/// One-sided power spectrum (N/2+1 bins) of a real signal.
+[[nodiscard]] std::vector<double> power_spectrum(std::span<const double> signal);
+
+/// Next power of two ≥ n (n ≥ 1).
+[[nodiscard]] std::size_t next_pow2(std::size_t n);
+
+/// True if n is a power of two (n ≥ 1).
+[[nodiscard]] bool is_pow2(std::size_t n);
+
+/// Hann window coefficients of length n.
+[[nodiscard]] std::vector<double> hann_window(std::size_t n);
+
+}  // namespace iotsim::dsp

@@ -1,0 +1,81 @@
+#include "dsp/mfcc.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+#include "dsp/fft.h"
+
+namespace iotsim::dsp {
+
+double hz_to_mel(double hz) { return 2595.0 * std::log10(1.0 + hz / 700.0); }
+double mel_to_hz(double mel) { return 700.0 * (std::pow(10.0, mel / 2595.0) - 1.0); }
+
+namespace {
+
+/// Triangular mel filterbank: filters[band][bin].
+std::vector<std::vector<double>> mel_filterbank(const MfccConfig& cfg, std::size_t bins) {
+  const double mel_lo = hz_to_mel(cfg.low_freq_hz);
+  const double mel_hi = hz_to_mel(cfg.high_freq_hz);
+  std::vector<double> centers(cfg.mel_bands + 2);
+  for (std::size_t i = 0; i < centers.size(); ++i) {
+    const double mel = mel_lo + (mel_hi - mel_lo) * static_cast<double>(i) /
+                                    static_cast<double>(cfg.mel_bands + 1);
+    centers[i] = mel_to_hz(mel) / (cfg.sample_rate_hz / 2.0) * static_cast<double>(bins - 1);
+  }
+  std::vector<std::vector<double>> filters(cfg.mel_bands, std::vector<double>(bins, 0.0));
+  for (std::size_t b = 0; b < cfg.mel_bands; ++b) {
+    const double left = centers[b], mid = centers[b + 1], right = centers[b + 2];
+    for (std::size_t k = 0; k < bins; ++k) {
+      const double x = static_cast<double>(k);
+      if (x > left && x < mid) {
+        filters[b][k] = (x - left) / (mid - left);
+      } else if (x >= mid && x < right) {
+        filters[b][k] = (right - x) / (right - mid);
+      }
+    }
+  }
+  return filters;
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> mfcc(std::span<const double> signal, const MfccConfig& cfg) {
+  assert(is_pow2(cfg.frame_size));
+  std::vector<std::vector<double>> out;
+  if (signal.size() < cfg.frame_size) return out;
+
+  const auto window = hann_window(cfg.frame_size);
+  const std::size_t bins = cfg.frame_size / 2 + 1;
+  const auto filters = mel_filterbank(cfg, bins);
+
+  std::vector<double> frame(cfg.frame_size);
+  for (std::size_t start = 0; start + cfg.frame_size <= signal.size(); start += cfg.hop) {
+    for (std::size_t i = 0; i < cfg.frame_size; ++i) frame[i] = signal[start + i] * window[i];
+    const auto power = power_spectrum(frame);
+
+    // Mel energies → log.
+    std::vector<double> log_mel(cfg.mel_bands);
+    for (std::size_t b = 0; b < cfg.mel_bands; ++b) {
+      double e = 0.0;
+      for (std::size_t k = 0; k < bins; ++k) e += filters[b][k] * power[k];
+      log_mel[b] = std::log(e + 1e-12);
+    }
+
+    // DCT-II → cepstral coefficients.
+    std::vector<double> coeffs(cfg.coefficients);
+    for (std::size_t c = 0; c < cfg.coefficients; ++c) {
+      double sum = 0.0;
+      for (std::size_t b = 0; b < cfg.mel_bands; ++b) {
+        sum += log_mel[b] * std::cos(std::numbers::pi * static_cast<double>(c) *
+                                     (static_cast<double>(b) + 0.5) /
+                                     static_cast<double>(cfg.mel_bands));
+      }
+      coeffs[c] = sum;
+    }
+    out.push_back(std::move(coeffs));
+  }
+  return out;
+}
+
+}  // namespace iotsim::dsp

@@ -1,0 +1,30 @@
+// MFCC front-end for the speech-to-text kernel (A11) — the stand-in for
+// PocketSphinx's acoustic front-end: framing → Hann window → FFT power
+// spectrum → mel filterbank → log → DCT-II.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace iotsim::dsp {
+
+struct MfccConfig {
+  double sample_rate_hz = 8000.0;
+  std::size_t frame_size = 256;   // power of two
+  std::size_t hop = 128;
+  std::size_t mel_bands = 26;
+  std::size_t coefficients = 13;  // cepstral coefficients kept
+  double low_freq_hz = 100.0;
+  double high_freq_hz = 3800.0;
+};
+
+/// One MFCC vector per frame; empty if the signal is shorter than a frame.
+[[nodiscard]] std::vector<std::vector<double>> mfcc(std::span<const double> signal,
+                                                    const MfccConfig& cfg);
+
+/// Mel scale helpers (HTK convention).
+[[nodiscard]] double hz_to_mel(double hz);
+[[nodiscard]] double mel_to_hz(double mel);
+
+}  // namespace iotsim::dsp

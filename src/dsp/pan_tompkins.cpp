@@ -1,0 +1,63 @@
+#include "dsp/pan_tompkins.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/filters.h"
+#include "dsp/peak_detect.h"
+
+namespace iotsim::dsp {
+
+QrsResult detect_qrs(std::span<const double> ecg, const PanTompkinsConfig& cfg) {
+  QrsResult result;
+  if (ecg.size() < 16) return result;
+
+  // 1. Band-pass 5–15 Hz (high-pass then low-pass biquads).
+  Biquad hp = Biquad::high_pass(cfg.sample_rate_hz, 5.0);
+  Biquad lp = Biquad::low_pass(cfg.sample_rate_hz, 15.0);
+  std::vector<double> filtered(ecg.size());
+  for (std::size_t i = 0; i < ecg.size(); ++i) filtered[i] = lp.process(hp.process(ecg[i]));
+
+  // 2. Derivative → 3. squaring → 4. moving-window integration.
+  Derivative deriv;
+  const auto win =
+      std::max<std::size_t>(1, static_cast<std::size_t>(cfg.integration_window_s *
+                                                        cfg.sample_rate_hz));
+  MovingAverage integrator{win};
+  std::vector<double> integrated(ecg.size());
+  for (std::size_t i = 0; i < ecg.size(); ++i) {
+    const double d = deriv.process(filtered[i]);
+    integrated[i] = integrator.process(d * d);
+  }
+
+  // 5. Peak search with refractory period.
+  PeakDetectorConfig pcfg;
+  pcfg.min_distance = static_cast<std::size_t>(cfg.refractory_s * cfg.sample_rate_hz);
+  pcfg.k_stddev = 1.0;
+  result.r_peaks = detect_peaks(integrated, pcfg);
+
+  // RR statistics.
+  for (std::size_t i = 1; i < result.r_peaks.size(); ++i) {
+    result.rr_intervals.push_back(
+        static_cast<double>(result.r_peaks[i] - result.r_peaks[i - 1]) / cfg.sample_rate_hz);
+  }
+  if (!result.rr_intervals.empty()) {
+    double sum = 0.0;
+    for (double rr : result.rr_intervals) sum += rr;
+    const double mean_rr = sum / static_cast<double>(result.rr_intervals.size());
+    result.mean_bpm = 60.0 / mean_rr;
+
+    if (result.rr_intervals.size() >= 2) {
+      double sq = 0.0;
+      for (std::size_t i = 1; i < result.rr_intervals.size(); ++i) {
+        const double d = result.rr_intervals[i] - result.rr_intervals[i - 1];
+        sq += d * d;
+      }
+      result.rmssd = std::sqrt(sq / static_cast<double>(result.rr_intervals.size() - 1));
+      result.irregular = result.rmssd > cfg.irregular_rmssd_fraction * mean_rr;
+    }
+  }
+  return result;
+}
+
+}  // namespace iotsim::dsp

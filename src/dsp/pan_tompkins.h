@@ -1,0 +1,32 @@
+// Pan–Tompkins QRS detection for the heartbeat-irregularity kernel (A8).
+//
+// Classic pipeline: band-pass (5–15 Hz) → derivative → squaring → moving-
+// window integration → adaptive-threshold peak search, then RR-interval
+// statistics to flag irregular rhythms.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace iotsim::dsp {
+
+struct QrsResult {
+  std::vector<std::size_t> r_peaks;   // sample indices of detected R waves
+  std::vector<double> rr_intervals;   // seconds between successive R waves
+  double mean_bpm = 0.0;
+  double rmssd = 0.0;                 // RR variability (irregularity measure)
+  bool irregular = false;             // true when variability exceeds limit
+};
+
+struct PanTompkinsConfig {
+  double sample_rate_hz = 1000.0;
+  double integration_window_s = 0.150;
+  double refractory_s = 0.200;
+  /// RMSSD above this fraction of the mean RR flags irregularity.
+  double irregular_rmssd_fraction = 0.15;
+};
+
+[[nodiscard]] QrsResult detect_qrs(std::span<const double> ecg, const PanTompkinsConfig& cfg);
+
+}  // namespace iotsim::dsp

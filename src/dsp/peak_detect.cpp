@@ -1,0 +1,35 @@
+#include "dsp/peak_detect.h"
+
+#include "dsp/filters.h"
+
+namespace iotsim::dsp {
+
+std::vector<std::size_t> detect_peaks(std::span<const double> signal,
+                                      const PeakDetectorConfig& cfg) {
+  std::vector<std::size_t> peaks;
+  if (signal.size() < 3) return peaks;
+
+  const Stats stats = compute_stats(signal);
+  const double threshold = std::max(stats.mean + cfg.k_stddev * stats.stddev, cfg.min_height);
+
+  std::size_t last_peak = 0;
+  bool have_peak = false;
+  for (std::size_t i = 1; i + 1 < signal.size(); ++i) {
+    if (signal[i] < threshold) continue;
+    if (signal[i] < signal[i - 1] || signal[i] <= signal[i + 1]) continue;
+    if (have_peak && i - last_peak < cfg.min_distance) {
+      // Within the refractory period: keep the taller of the two.
+      if (signal[i] > signal[peaks.back()]) {
+        peaks.back() = i;
+        last_peak = i;
+      }
+      continue;
+    }
+    peaks.push_back(i);
+    last_peak = i;
+    have_peak = true;
+  }
+  return peaks;
+}
+
+}  // namespace iotsim::dsp

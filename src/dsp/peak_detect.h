@@ -1,0 +1,23 @@
+// Adaptive-threshold peak detection — the step-detection core (§II-B, [33]).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace iotsim::dsp {
+
+struct PeakDetectorConfig {
+  /// Minimum samples between two accepted peaks (refractory period).
+  std::size_t min_distance = 1;
+  /// Threshold = mean + k·stddev of the window.
+  double k_stddev = 0.8;
+  /// Absolute floor the signal must exceed regardless of statistics.
+  double min_height = 0.0;
+};
+
+/// Indices of local maxima above an adaptive threshold.
+[[nodiscard]] std::vector<std::size_t> detect_peaks(std::span<const double> signal,
+                                                    const PeakDetectorConfig& cfg);
+
+}  // namespace iotsim::dsp

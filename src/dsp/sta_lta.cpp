@@ -1,0 +1,51 @@
+#include "dsp/sta_lta.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "dsp/filters.h"
+
+namespace iotsim::dsp {
+
+std::vector<double> sta_lta_ratio(std::span<const double> signal, const StaLtaConfig& cfg) {
+  assert(cfg.sta_window > 0 && cfg.lta_window > cfg.sta_window);
+  MovingAverage sta{cfg.sta_window};
+  MovingAverage lta{cfg.lta_window};
+  std::vector<double> ratio(signal.size());
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    const double energy = signal[i] * signal[i];
+    const double s = sta.process(energy);
+    const double l = lta.process(energy);
+    // Until the LTA window has filled, the ratio is undefined; report 1.
+    ratio[i] = (i + 1 < cfg.lta_window || l <= 1e-30) ? 1.0 : s / l;
+  }
+  return ratio;
+}
+
+std::vector<SeismicEvent> sta_lta_events(std::span<const double> signal,
+                                         const StaLtaConfig& cfg) {
+  const auto ratio = sta_lta_ratio(signal, cfg);
+  std::vector<SeismicEvent> events;
+  bool in_event = false;
+  SeismicEvent current{};
+  for (std::size_t i = 0; i < ratio.size(); ++i) {
+    if (!in_event && ratio[i] >= cfg.trigger_ratio) {
+      in_event = true;
+      current = SeismicEvent{i, i, ratio[i]};
+    } else if (in_event) {
+      current.peak_ratio = std::max(current.peak_ratio, ratio[i]);
+      if (ratio[i] <= cfg.detrigger_ratio) {
+        current.offset = i;
+        events.push_back(current);
+        in_event = false;
+      }
+    }
+  }
+  if (in_event) {
+    current.offset = ratio.empty() ? 0 : ratio.size() - 1;
+    events.push_back(current);
+  }
+  return events;
+}
+
+}  // namespace iotsim::dsp

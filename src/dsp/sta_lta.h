@@ -1,0 +1,32 @@
+// STA/LTA (short-term / long-term average) transient detection — the
+// standard seismological trigger used by the earthquake kernel (A7).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace iotsim::dsp {
+
+struct StaLtaConfig {
+  std::size_t sta_window = 50;    // short-term window (samples)
+  std::size_t lta_window = 500;   // long-term window (samples)
+  double trigger_ratio = 4.0;     // STA/LTA above this → event on
+  double detrigger_ratio = 1.5;   // below this → event off
+};
+
+struct SeismicEvent {
+  std::size_t onset;   // trigger sample index
+  std::size_t offset;  // detrigger sample index (or last sample)
+  double peak_ratio;   // maximum STA/LTA during the event
+};
+
+/// Runs the classic recursive STA/LTA trigger over signal energy.
+[[nodiscard]] std::vector<SeismicEvent> sta_lta_events(std::span<const double> signal,
+                                                       const StaLtaConfig& cfg);
+
+/// The STA/LTA ratio series itself (for inspection / tests).
+[[nodiscard]] std::vector<double> sta_lta_ratio(std::span<const double> signal,
+                                                const StaLtaConfig& cfg);
+
+}  // namespace iotsim::dsp

@@ -1,0 +1,35 @@
+#include "energy/battery.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace iotsim::energy {
+
+Battery::Battery(double capacity_wh, double usable_fraction)
+    : capacity_j_{capacity_wh * 3600.0}, usable_fraction_{usable_fraction} {
+  assert(capacity_wh > 0.0);
+  assert(usable_fraction > 0.0 && usable_fraction <= 1.0);
+}
+
+double Battery::state_of_charge() const {
+  return std::max(0.0, 1.0 - drained_j_ / usable_joules());
+}
+
+bool Battery::drain(double joules) {
+  assert(joules >= 0.0);
+  drained_j_ += joules;
+  return !depleted();
+}
+
+sim::Duration Battery::remaining_lifetime(double watts) const {
+  assert(watts > 0.0);
+  const double left = std::max(0.0, usable_joules() - drained_j_);
+  return sim::Duration::from_seconds(left / watts);
+}
+
+sim::Duration Battery::lifetime(double watts) const {
+  assert(watts > 0.0);
+  return sim::Duration::from_seconds(usable_joules() / watts);
+}
+
+}  // namespace iotsim::energy

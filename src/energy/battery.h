@@ -1,0 +1,43 @@
+// A small battery model for lifetime projections — what the paper's energy
+// savings mean for a deployed, battery-powered hub.
+#pragma once
+
+#include "energy/energy_report.h"
+#include "sim/sim_time.h"
+
+namespace iotsim::energy {
+
+class Battery {
+ public:
+  /// `capacity_wh` — nameplate energy; `usable_fraction` — depth-of-
+  /// discharge limit (Li-ion packs are rarely run to zero).
+  explicit Battery(double capacity_wh, double usable_fraction = 0.9);
+
+  [[nodiscard]] double capacity_joules() const { return capacity_j_; }
+  [[nodiscard]] double usable_joules() const { return capacity_j_ * usable_fraction_; }
+  [[nodiscard]] double drained_joules() const { return drained_j_; }
+  [[nodiscard]] double state_of_charge() const;
+  [[nodiscard]] bool depleted() const { return drained_j_ >= usable_joules(); }
+
+  /// Accounts a consumed amount of energy. Returns false once the usable
+  /// capacity is exhausted (the draw still books, charge floors at empty).
+  bool drain(double joules);
+  bool drain(const EnergyReport& report) { return drain(report.total_joules()); }
+  void recharge() { drained_j_ = 0.0; }
+
+  /// How long the remaining usable energy lasts at a constant draw.
+  [[nodiscard]] sim::Duration remaining_lifetime(double watts) const;
+  /// Full-charge lifetime at a constant draw.
+  [[nodiscard]] sim::Duration lifetime(double watts) const;
+  /// Full-charge lifetime at a scenario's average power.
+  [[nodiscard]] sim::Duration lifetime(const EnergyReport& report) const {
+    return lifetime(report.average_watts());
+  }
+
+ private:
+  double capacity_j_;
+  double usable_fraction_;
+  double drained_j_ = 0.0;
+};
+
+}  // namespace iotsim::energy

@@ -1,0 +1,51 @@
+#include "energy/energy_accountant.h"
+
+#include <cassert>
+
+namespace iotsim::energy {
+
+ComponentId EnergyAccountant::register_component(std::string name) {
+  names_.push_back(std::move(name));
+  ledger_.emplace_back();
+  return names_.size() - 1;
+}
+
+void EnergyAccountant::add(const PowerSegment& seg) {
+  assert(seg.component < ledger_.size());
+  assert(seg.end >= seg.begin);
+  auto& cell = ledger_[seg.component][index_of(seg.routine)];
+  cell.joules += seg.joules();
+  if (seg.busy) cell.time += seg.end - seg.begin;
+}
+
+double EnergyAccountant::joules(ComponentId c, Routine r) const {
+  return ledger_.at(c)[index_of(r)].joules;
+}
+
+double EnergyAccountant::component_joules(ComponentId c) const {
+  double total = 0.0;
+  for (const auto& cell : ledger_.at(c)) total += cell.joules;
+  return total;
+}
+
+double EnergyAccountant::routine_joules(Routine r) const {
+  double total = 0.0;
+  for (const auto& row : ledger_) total += row[index_of(r)].joules;
+  return total;
+}
+
+double EnergyAccountant::total_joules() const {
+  double total = 0.0;
+  for (std::size_t c = 0; c < ledger_.size(); ++c) total += component_joules(c);
+  return total;
+}
+
+sim::Duration EnergyAccountant::busy_time(ComponentId c, Routine r) const {
+  return ledger_.at(c)[index_of(r)].time;
+}
+
+void EnergyAccountant::reset() {
+  for (auto& row : ledger_) row = {};
+}
+
+}  // namespace iotsim::energy

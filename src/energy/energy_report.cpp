@@ -1,0 +1,71 @@
+#include "energy/energy_report.h"
+
+#include <cassert>
+
+namespace iotsim::energy {
+
+EnergyReport EnergyReport::from_accountant(const EnergyAccountant& acct, sim::Duration elapsed) {
+  EnergyReport r;
+  r.elapsed_ = elapsed;
+  for (ComponentId c = 0; c < acct.component_count(); ++c) {
+    auto& row = r.component_j_[acct.component_name(c)];
+    for (Routine rt : kAllRoutines) {
+      const double j = acct.joules(c, rt);
+      row[index_of(rt)] += j;
+      r.routine_j_[index_of(rt)] += j;
+      r.busy_[index_of(rt)] += acct.busy_time(c, rt);
+    }
+  }
+  return r;
+}
+
+double EnergyReport::total_joules() const {
+  double t = 0.0;
+  for (double j : routine_j_) t += j;
+  return t;
+}
+
+sim::Duration EnergyReport::total_busy_time() const {
+  sim::Duration t = sim::Duration::zero();
+  for (Routine r : kPaperRoutines) t += busy_[index_of(r)];
+  t += busy_[index_of(Routine::kNetwork)];
+  return t;
+}
+
+double EnergyReport::average_watts() const {
+  const double s = elapsed_.to_seconds();
+  return s > 0.0 ? total_joules() / s : 0.0;
+}
+
+double EnergyReport::component_joules(const std::string& name) const {
+  auto it = component_j_.find(name);
+  if (it == component_j_.end()) return 0.0;
+  double t = 0.0;
+  for (double j : it->second) t += j;
+  return t;
+}
+
+double EnergyReport::paper_joules(Routine r) const {
+  double j = routine_j_[index_of(r)];
+  if (r == Routine::kComputation) j += routine_j_[index_of(Routine::kNetwork)];
+  return j;
+}
+
+double EnergyReport::paper_fraction(Routine r) const {
+  const double total = total_joules();
+  return total > 0.0 ? paper_joules(r) / total : 0.0;
+}
+
+double EnergyReport::savings_vs(const EnergyReport& baseline) const {
+  const double base = baseline.total_joules();
+  assert(base > 0.0);
+  return 1.0 - total_joules() / base;
+}
+
+double EnergyReport::normalized_to(const EnergyReport& baseline) const {
+  const double base = baseline.total_joules();
+  assert(base > 0.0);
+  return total_joules() / base;
+}
+
+}  // namespace iotsim::energy

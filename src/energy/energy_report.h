@@ -1,0 +1,55 @@
+// Aggregated results of a scenario run, in the shape the paper reports:
+// energy per routine (Figs. 3, 7, 9–12), busy time per routine (Fig. 8),
+// and normalisation/savings helpers.
+#pragma once
+
+#include <array>
+#include <map>
+#include <string>
+
+#include "energy/energy_accountant.h"
+#include "energy/routine.h"
+#include "sim/sim_time.h"
+
+namespace iotsim::energy {
+
+class EnergyReport {
+ public:
+  EnergyReport() = default;
+
+  /// Snapshots the accountant's ledger. `elapsed` is the simulated span the
+  /// ledger covers.
+  static EnergyReport from_accountant(const EnergyAccountant& acct, sim::Duration elapsed);
+
+  [[nodiscard]] double joules(Routine r) const { return routine_j_[index_of(r)]; }
+  [[nodiscard]] double total_joules() const;
+  [[nodiscard]] sim::Duration busy_time(Routine r) const { return busy_[index_of(r)]; }
+  [[nodiscard]] sim::Duration total_busy_time() const;
+  [[nodiscard]] sim::Duration elapsed() const { return elapsed_; }
+  [[nodiscard]] double average_watts() const;
+
+  [[nodiscard]] double component_joules(const std::string& name) const;
+  [[nodiscard]] const std::map<std::string, std::array<double, kRoutineCount>>& by_component()
+      const {
+    return component_j_;
+  }
+
+  /// Fraction of total energy in routine `r`, folding Network into
+  /// Computation the way the paper's four-routine figures do.
+  [[nodiscard]] double paper_fraction(Routine r) const;
+  /// Energy in routine `r` under the paper's four-routine folding.
+  [[nodiscard]] double paper_joules(Routine r) const;
+
+  /// 1 − total/baseline.total: the paper's "% energy savings".
+  [[nodiscard]] double savings_vs(const EnergyReport& baseline) const;
+  /// total normalised to the baseline's total (bar height in Figs. 9–12).
+  [[nodiscard]] double normalized_to(const EnergyReport& baseline) const;
+
+ private:
+  std::array<double, kRoutineCount> routine_j_{};
+  std::array<sim::Duration, kRoutineCount> busy_{};
+  std::map<std::string, std::array<double, kRoutineCount>> component_j_;
+  sim::Duration elapsed_ = sim::Duration::zero();
+};
+
+}  // namespace iotsim::energy

@@ -1,0 +1,16 @@
+#include "energy/power_model.h"
+
+namespace iotsim::energy {
+
+CpuPowerSpec paper_reference_cpu() {
+  CpuPowerSpec spec;
+  spec.active_w = 5.0;
+  spec.light_sleep_w = 1.5;
+  spec.deep_sleep_w = 1.5;
+  spec.transition_w = 2.5;
+  spec.light_wake_latency = sim::Duration::from_ms(1.6);
+  spec.deep_wake_latency = sim::Duration::from_ms(1.6);
+  return spec;
+}
+
+}  // namespace iotsim::energy

@@ -1,0 +1,58 @@
+#include "energy/power_state_machine.h"
+
+#include <cassert>
+#include <utility>
+
+#include "sim/simulator.h"
+
+namespace iotsim::energy {
+
+PowerStateMachine::PowerStateMachine(sim::Simulator& sim, EnergyAccountant& acct,
+                                     ComponentId component, std::vector<PowerState> states,
+                                     StateId initial, Routine initial_routine)
+    : sim_{sim},
+      acct_{acct},
+      component_{component},
+      states_{std::move(states)},
+      state_{initial},
+      routine_{initial_routine},
+      since_{sim.now()} {
+  assert(!states_.empty());
+  assert(initial < states_.size());
+}
+
+void PowerStateMachine::close_segment() {
+  const sim::SimTime now = sim_.now();
+  if (now > since_) {
+    const PowerSegment seg{component_, routine_,          since_,
+                           now,        states_[state_].watts, states_[state_].busy_work};
+    acct_.add(seg);
+    for (auto& l : listeners_) l(seg);
+  }
+  since_ = now;
+}
+
+void PowerStateMachine::set_state(StateId s) {
+  assert(s < states_.size());
+  if (s == state_) return;
+  close_segment();
+  state_ = s;
+}
+
+void PowerStateMachine::set_routine(Routine r) {
+  if (r == routine_) return;
+  close_segment();
+  routine_ = r;
+}
+
+void PowerStateMachine::set(StateId s, Routine r) {
+  assert(s < states_.size());
+  if (s == state_ && r == routine_) return;
+  close_segment();
+  state_ = s;
+  routine_ = r;
+}
+
+void PowerStateMachine::flush() { close_segment(); }
+
+}  // namespace iotsim::energy

@@ -1,0 +1,69 @@
+// Generic power-state machine with routine attribution.
+//
+// A hardware component owns one of these; every set_state/set_routine call
+// flushes the elapsed piecewise-constant segment into the EnergyAccountant
+// and to any registered listeners (e.g. trace::PowerTrace).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "energy/energy_accountant.h"
+#include "energy/routine.h"
+#include "sim/sim_time.h"
+
+namespace iotsim::sim {
+class Simulator;
+}
+
+namespace iotsim::energy {
+
+struct PowerState {
+  std::string name;
+  double watts = 0.0;
+  /// Active work (enters busy-time accounting) vs. waiting/sleeping.
+  bool busy_work = false;
+};
+
+class PowerStateMachine {
+ public:
+  using StateId = std::size_t;
+  using Listener = std::function<void(const PowerSegment&)>;
+
+  PowerStateMachine(sim::Simulator& sim, EnergyAccountant& acct, ComponentId component,
+                    std::vector<PowerState> states, StateId initial,
+                    Routine initial_routine = Routine::kIdle);
+
+  [[nodiscard]] StateId state() const { return state_; }
+  [[nodiscard]] Routine routine() const { return routine_; }
+  [[nodiscard]] double watts() const { return states_[state_].watts; }
+  [[nodiscard]] const PowerState& state_def(StateId id) const { return states_.at(id); }
+  [[nodiscard]] ComponentId component() const { return component_; }
+
+  /// Changes power state, closing the current segment.
+  void set_state(StateId s);
+  /// Changes energy attribution, closing the current segment.
+  void set_routine(Routine r);
+  void set(StateId s, Routine r);
+
+  /// Integrates the open segment up to now (call at end of simulation).
+  void flush();
+
+  void add_listener(Listener l) { listeners_.push_back(std::move(l)); }
+
+ private:
+  void close_segment();
+
+  sim::Simulator& sim_;
+  EnergyAccountant& acct_;
+  ComponentId component_;
+  std::vector<PowerState> states_;
+  StateId state_;
+  Routine routine_;
+  sim::SimTime since_;
+  std::vector<Listener> listeners_;
+};
+
+}  // namespace iotsim::energy

@@ -1,0 +1,17 @@
+#include "energy/routine.h"
+
+namespace iotsim::energy {
+
+std::string_view to_string(Routine r) {
+  switch (r) {
+    case Routine::kDataCollection: return "DataCollection";
+    case Routine::kInterrupt: return "Interrupt";
+    case Routine::kDataTransfer: return "DataTransfer";
+    case Routine::kComputation: return "Computation";
+    case Routine::kNetwork: return "Network";
+    case Routine::kIdle: return "Idle";
+  }
+  return "?";
+}
+
+}  // namespace iotsim::energy

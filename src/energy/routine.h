@@ -1,0 +1,41 @@
+// The paper's four energy-accounting routines (§II-B): every joule spent by
+// a component is attributed to exactly one routine, plus Idle for energy
+// outside any app activity (the idle-hub floor of Fig. 1).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace iotsim::energy {
+
+enum class Routine : unsigned char {
+  kDataCollection = 0,  // MCU checking/reading/formatting sensor values
+  kInterrupt,           // MCU→CPU interrupt raise + CPU dispatch/ack/context switch
+  kDataTransfer,        // moving sensor bytes MCU→CPU, incl. stall/wait energy
+  kComputation,         // app-specific kernel execution (CPU or MCU)
+  kNetwork,             // NIC + host energy for cloud/phone communication
+  kIdle,                // no app activity attributable
+};
+
+inline constexpr std::size_t kRoutineCount = 6;
+
+inline constexpr std::array<Routine, kRoutineCount> kAllRoutines = {
+    Routine::kDataCollection, Routine::kInterrupt,   Routine::kDataTransfer,
+    Routine::kComputation,    Routine::kNetwork,     Routine::kIdle,
+};
+
+// The four routines the paper's figures break energy into. Network energy is
+// folded into Computation when printing paper-shaped figures (the paper
+// bundles cloud interfacing into the app-specific task, cf. Table II A4).
+inline constexpr std::array<Routine, 4> kPaperRoutines = {
+    Routine::kDataCollection,
+    Routine::kInterrupt,
+    Routine::kDataTransfer,
+    Routine::kComputation,
+};
+
+[[nodiscard]] std::string_view to_string(Routine r);
+[[nodiscard]] constexpr std::size_t index_of(Routine r) { return static_cast<std::size_t>(r); }
+
+}  // namespace iotsim::energy

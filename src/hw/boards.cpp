@@ -1,0 +1,39 @@
+#include "hw/boards.h"
+
+namespace iotsim::hw {
+
+HubSpec default_hub_spec() {
+  HubSpec spec;
+
+  spec.cpu.active_w = 1.9;
+  spec.cpu.busy_w = 3.3;  // sustained compute draws more than a stall
+  spec.cpu.light_sleep_w = 0.45;
+  spec.cpu.deep_sleep_w = 0.10;
+  spec.cpu.transition_w = 1.2;
+  spec.cpu.light_wake_latency = sim::Duration::from_ms(1.6);
+  spec.cpu.deep_wake_latency = sim::Duration::from_ms(10.0);
+
+  spec.mcu.active_w = 1.0;
+  spec.mcu.sleep_w = 0.05;
+  spec.mcu.transition_w = 0.4;
+  spec.mcu.wake_latency = sim::Duration::from_us(130.0);
+
+  spec.pio_bus.active_w = 0.18;
+  spec.link_bus.active_w = 0.80;  // pads + PHY on both chips, lumped
+
+  spec.main_nic.tx_w = 0.85;
+  spec.main_nic.rx_w = 0.55;
+  spec.main_nic.bytes_per_second = 2.0e6;
+  spec.main_nic.tail = sim::Duration::from_ms(80.0);
+
+  // The ESP8266 radio: slower but far lower power, and the CPU sleeps while
+  // it transmits — the root of COM's advantage for cloud apps.
+  spec.mcu_nic.tx_w = 0.42;
+  spec.mcu_nic.rx_w = 0.30;
+  spec.mcu_nic.bytes_per_second = 0.6e6;
+  spec.mcu_nic.tail = sim::Duration::from_ms(40.0);
+
+  return spec;
+}
+
+}  // namespace iotsim::hw

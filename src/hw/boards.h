@@ -1,0 +1,69 @@
+// Board-level specifications of the simulated hub: the calibrated stand-in
+// for the paper's Raspberry Pi 3B (main board) + ESP8266 (MCU board)
+// platform (§IV-A). Timing constants follow the paper's measurements where
+// given (Fig. 8: 0.1 ms sensor read, ~0.19 ms per 12-byte transfer, 100 ms
+// bulk transfer of 1000×12 B); power constants are calibrated so the
+// percentage breakdowns of Figs. 4/7/9–12 reproduce (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstddef>
+
+#include "energy/power_model.h"
+#include "sim/sim_time.h"
+
+namespace iotsim::hw {
+
+struct HubSpec {
+  // --- power ---
+  energy::CpuPowerSpec cpu{};
+  energy::McuPowerSpec mcu{};
+  energy::BusPowerSpec pio_bus{};   // sensor-side PIO buses
+  energy::BusPowerSpec link_bus{};  // CPU<->MCU UART link (pads + PHY lumped)
+  energy::NicPowerSpec main_nic{};  // main-board WiFi
+  energy::NicPowerSpec mcu_nic{};   // ESP8266's own WiFi
+  double main_board_base_w = 0.10;  // always-on regulators, DRAM refresh
+  double mcu_board_base_w = 0.03;
+
+  // --- CPU<->MCU link timing ---
+  /// §IV-F future work: with DMA/shared-memory hardware, the link moves
+  /// bytes on its own — the CPU pays only a short setup and both
+  /// processors are free (and may sleep) during the wire time.
+  bool dma_enabled = false;
+  sim::Duration dma_setup = sim::Duration::from_us(25.0);
+
+  /// Per-transfer software overhead (driver entry, buffer management).
+  sim::Duration transfer_fixed_overhead = sim::Duration::from_us(90.0);
+  /// Wire time per byte (~1.2 Mbaud UART, 10 wire bits/byte).
+  sim::Duration transfer_per_byte = sim::Duration::from_us(8.33);
+
+  // --- interrupt path timing ---
+  /// MCU-side cost to raise an interrupt line.
+  sim::Duration interrupt_raise = sim::Duration::from_us(8.0);
+  /// CPU-side dispatch: priority check, ack, context switch (§II-B step 3).
+  sim::Duration interrupt_dispatch = sim::Duration::from_us(100.0);
+
+  // --- MCU board ---
+  std::size_t mcu_ram_bytes = 80 * 1024;          // ESP8266 user-data RAM
+  std::size_t mcu_firmware_reserved = 24 * 1024;  // RTOS + driver footprint
+  /// Cost for the MCU to append one sample to a batching buffer.
+  sim::Duration mcu_buffer_store = sim::Duration::from_us(3.0);
+
+  // --- compute throughput ---
+  double cpu_nominal_mips = 24000.0;  // quad A53 @1.2 GHz (§III-B1)
+  double mcu_nominal_mips = 80.0;     // L106 @80 MHz
+
+  /// RAM available for batching buffers or an offloaded app.
+  [[nodiscard]] std::size_t mcu_available_ram() const {
+    return mcu_ram_bytes - mcu_firmware_reserved;
+  }
+
+  /// Wire + software time to move `bytes` over the CPU<->MCU link.
+  [[nodiscard]] sim::Duration transfer_time(std::size_t bytes) const {
+    return transfer_fixed_overhead + transfer_per_byte * static_cast<std::int64_t>(bytes);
+  }
+};
+
+/// The calibrated Raspberry Pi 3B + ESP8266 hub model.
+[[nodiscard]] HubSpec default_hub_spec();
+
+}  // namespace iotsim::hw

@@ -1,0 +1,41 @@
+// A powered, exclusive-access physical medium: PIO buses (I2C/SPI/UART/
+// analog front-end) on the MCU board and the CPU<->MCU UART link. Fig. 4's
+// "physical data transfer" energy slice lives here.
+#pragma once
+
+#include <string>
+
+#include "energy/power_model.h"
+#include "energy/power_state_machine.h"
+#include "sim/process.h"
+#include "sim/sim_time.h"
+
+namespace iotsim::sim {
+class Simulator;
+}
+
+namespace iotsim::hw {
+
+class Bus {
+ public:
+  Bus(sim::Simulator& sim, energy::EnergyAccountant& acct, std::string name,
+      energy::BusPowerSpec spec);
+
+  /// Holds the bus for `d`, drawing active power attributed to `attr`.
+  /// Concurrent holders serialize FIFO.
+  [[nodiscard]] sim::Task<void> occupy(sim::Duration d, energy::Routine attr);
+
+  [[nodiscard]] energy::PowerStateMachine& power() { return psm_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] bool busy() const { return psm_.state() == kActive; }
+
+ private:
+  static constexpr energy::PowerStateMachine::StateId kIdle = 0;
+  static constexpr energy::PowerStateMachine::StateId kActive = 1;
+
+  std::string name_;
+  energy::PowerStateMachine psm_;
+  sim::SimMutex mutex_;
+};
+
+}  // namespace iotsim::hw

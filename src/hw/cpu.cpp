@@ -1,0 +1,21 @@
+#include "hw/cpu.h"
+
+namespace iotsim::hw {
+
+ProcessorSpec make_cpu_processor_spec(const energy::CpuPowerSpec& spec, double nominal_mips) {
+  ProcessorSpec p;
+  p.active_w = spec.active_w;
+  p.busy_w = spec.busy_w;
+  p.nominal_mips = nominal_mips;
+  p.sleep_modes = {
+      SleepMode{spec.light_sleep_w, spec.light_wake_latency, spec.transition_w},
+      SleepMode{spec.deep_sleep_w, spec.deep_wake_latency, spec.transition_w},
+  };
+  return p;
+}
+
+Cpu::Cpu(sim::Simulator& sim, energy::EnergyAccountant& acct, const energy::CpuPowerSpec& spec,
+         double nominal_mips, std::string name)
+    : Processor{sim, acct, std::move(name), make_cpu_processor_spec(spec, nominal_mips)} {}
+
+}  // namespace iotsim::hw

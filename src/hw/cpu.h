@@ -1,0 +1,20 @@
+// The main-board CPU: a Processor with two sleep depths (light & deep),
+// modeling the Raspberry Pi 3B's BCM2837 core complex.
+#pragma once
+
+#include "energy/power_model.h"
+#include "hw/processor.h"
+
+namespace iotsim::hw {
+
+class Cpu : public Processor {
+ public:
+  Cpu(sim::Simulator& sim, energy::EnergyAccountant& acct, const energy::CpuPowerSpec& spec,
+      double nominal_mips, std::string name = "cpu");
+};
+
+/// Builds the generic ProcessorSpec from a CPU power spec.
+[[nodiscard]] ProcessorSpec make_cpu_processor_spec(const energy::CpuPowerSpec& spec,
+                                                    double nominal_mips);
+
+}  // namespace iotsim::hw

@@ -1,0 +1,57 @@
+#include "hw/nic.h"
+
+#include <utility>
+
+#include "sim/simulator.h"
+
+namespace iotsim::hw {
+
+Nic::Nic(sim::Simulator& sim, energy::EnergyAccountant& acct, std::string name,
+         energy::NicPowerSpec spec)
+    : sim_{sim},
+      name_{std::move(name)},
+      spec_{spec},
+      psm_{sim,
+           acct,
+           acct.register_component(name_),
+           {{"idle", spec.idle_w, false},
+            {"tx", spec.tx_w, true},
+            {"rx", spec.rx_w, true},
+            {"tail", spec.rx_w, false}},
+           kIdle} {}
+
+sim::Duration Nic::wire_time(std::size_t bytes) const {
+  return sim::Duration::from_seconds(static_cast<double>(bytes) / spec_.bytes_per_second);
+}
+
+void Nic::arm_tail(energy::Routine attr) {
+  psm_.set(kTail, attr);
+  const std::uint64_t generation = ++tail_generation_;
+  sim_.after(spec_.tail, [this, generation] {
+    // A newer burst supersedes this tail.
+    if (generation == tail_generation_ && psm_.state() == kTail) {
+      psm_.set(kIdle, energy::Routine::kIdle);
+    }
+  });
+}
+
+sim::Task<void> Nic::burst(std::size_t bytes, energy::PowerStateMachine::StateId state,
+                           energy::Routine attr) {
+  co_await mutex_.acquire();
+  psm_.set(state, attr);
+  co_await sim::Delay{wire_time(bytes)};
+  arm_tail(attr);
+  mutex_.release();
+}
+
+sim::Task<void> Nic::transmit(std::size_t bytes, energy::Routine attr) {
+  bytes_sent_ += bytes;
+  co_await burst(bytes, kTx, attr);
+}
+
+sim::Task<void> Nic::receive(std::size_t bytes, energy::Routine attr) {
+  bytes_received_ += bytes;
+  co_await burst(bytes, kRx, attr);
+}
+
+}  // namespace iotsim::hw

@@ -1,0 +1,67 @@
+// WiFi network interface with tail-energy modeling.
+//
+// After a burst the radio lingers in a high-power listen state (the classic
+// WiFi/cellular "tail"); back-to-back bursts coalesce tails. The main board
+// and the MCU board (ESP8266 — itself a WiFi SoC) each carry one NIC; the
+// MCU NIC is slower but much cheaper, which is where COM's advantage on
+// cloud-facing apps comes from (§IV-E).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "energy/power_model.h"
+#include "energy/power_state_machine.h"
+#include "sim/process.h"
+#include "sim/sim_time.h"
+
+namespace iotsim::sim {
+class Simulator;
+}
+
+namespace iotsim::hw {
+
+class Nic {
+ public:
+  Nic(sim::Simulator& sim, energy::EnergyAccountant& acct, std::string name,
+      energy::NicPowerSpec spec);
+
+  /// Time on the wire for a burst of `bytes`.
+  [[nodiscard]] sim::Duration wire_time(std::size_t bytes) const;
+
+  /// Clocks `bytes` out; returns after wire time. The post-burst tail is
+  /// accounted asynchronously.
+  [[nodiscard]] sim::Task<void> transmit(std::size_t bytes,
+                                         energy::Routine attr = energy::Routine::kNetwork);
+
+  /// Clocks `bytes` in.
+  [[nodiscard]] sim::Task<void> receive(std::size_t bytes,
+                                        energy::Routine attr = energy::Routine::kNetwork);
+
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] std::uint64_t bytes_received() const { return bytes_received_; }
+  [[nodiscard]] energy::PowerStateMachine& power() { return psm_; }
+  [[nodiscard]] const energy::NicPowerSpec& spec() const { return spec_; }
+
+ private:
+  static constexpr energy::PowerStateMachine::StateId kIdle = 0;
+  static constexpr energy::PowerStateMachine::StateId kTx = 1;
+  static constexpr energy::PowerStateMachine::StateId kRx = 2;
+  static constexpr energy::PowerStateMachine::StateId kTail = 3;
+
+  [[nodiscard]] sim::Task<void> burst(std::size_t bytes, energy::PowerStateMachine::StateId state,
+                                      energy::Routine attr);
+  void arm_tail(energy::Routine attr);
+
+  sim::Simulator& sim_;
+  std::string name_;
+  energy::NicPowerSpec spec_;
+  energy::PowerStateMachine psm_;
+  sim::SimMutex mutex_;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+  std::uint64_t tail_generation_ = 0;
+};
+
+}  // namespace iotsim::hw

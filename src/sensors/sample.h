@@ -1,0 +1,25 @@
+// A single sensor reading as delivered by the MCU's driver after the
+// check/read/format tasks of §II-B.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/sim_time.h"
+
+namespace iotsim::sensors {
+
+struct Sample {
+  sim::SimTime time;
+  /// Numeric channels (e.g. x/y/z acceleration, one temperature, …).
+  std::vector<double> channels;
+  /// Opaque payload for blob sensors (camera frame, fingerprint template).
+  std::vector<std::uint8_t> blob;
+
+  /// Bytes this sample occupies on the wire (Table I "Output Data" size).
+  [[nodiscard]] std::size_t wire_bytes(std::size_t declared) const {
+    return blob.empty() ? declared : blob.size();
+  }
+};
+
+}  // namespace iotsim::sensors

@@ -1,0 +1,16 @@
+#include "sensors/sensor.h"
+
+namespace iotsim::sensors {
+
+std::string_view to_string(BusType b) {
+  switch (b) {
+    case BusType::kSpi: return "SPI";
+    case BusType::kI2c: return "I2C";
+    case BusType::kTtlSerial: return "TTL Serial";
+    case BusType::kAnalog: return "Analog";
+    case BusType::kCameraSerial: return "Camera Serial";
+  }
+  return "?";
+}
+
+}  // namespace iotsim::sensors

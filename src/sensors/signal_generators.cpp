@@ -1,0 +1,219 @@
+#include "sensors/signal_generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "codecs/jpeg/jpeg_encoder.h"
+
+namespace iotsim::sensors {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+}
+
+// ---------------------------------------------------------------- gait ----
+
+void AccelerometerSignal::generate(sim::SimTime t, Sample& out) {
+  const double ts = t.to_seconds();
+  const double phase = kTwoPi * cfg_.step_rate_hz * ts;
+  double x = 0.4 * cfg_.step_amp * std::sin(phase + 0.7);
+  double y = 0.2 * cfg_.step_amp * std::sin(0.5 * phase);
+  // Vertical: gravity + bounce with harmonic (heel strikes).
+  double z = 9.81 + cfg_.step_amp * std::sin(phase) + 0.35 * cfg_.step_amp * std::sin(2 * phase);
+
+  for (const auto& quake : cfg_.quakes) {
+    if (ts >= quake.start_s && ts < quake.start_s + quake.duration_s) {
+      x += quake.magnitude * rng_.normal();
+      y += quake.magnitude * rng_.normal();
+      z += quake.magnitude * rng_.normal();
+    }
+  }
+  x += cfg_.noise * rng_.normal();
+  y += cfg_.noise * rng_.normal();
+  z += cfg_.noise * rng_.normal();
+  out.channels = {x, y, z};
+}
+
+// --------------------------------------------------------------- pulse ----
+
+PulseSignal::PulseSignal(Config cfg, sim::Rng rng) : cfg_{cfg}, rng_{rng} {
+  beat_times_s_.push_back(0.35);
+}
+
+void PulseSignal::extend_beats_until(double t_s) {
+  while (beat_times_s_.back() < t_s + 2.0) {
+    const double period = 60.0 / cfg_.bpm;
+    double rr = period * (1.0 + cfg_.rr_jitter * rng_.uniform(-1.0, 1.0));
+    if (cfg_.irregular_prob > 0.0 && rng_.bernoulli(cfg_.irregular_prob)) {
+      rr *= rng_.bernoulli(0.5) ? 0.55 : 1.6;  // premature beat or pause
+    }
+    beat_times_s_.push_back(beat_times_s_.back() + rr);
+  }
+}
+
+void PulseSignal::generate(sim::SimTime t, Sample& out) {
+  const double ts = t.to_seconds();
+  extend_beats_until(ts);
+  double v = 0.0;
+  for (double tb : beat_times_s_) {
+    const double dt = ts - tb;
+    if (dt < -0.5 || dt > 0.8) continue;
+    v += 1.2 * std::exp(-dt * dt / (2 * 0.008 * 0.008));                        // R
+    v += 0.15 * std::exp(-(dt - 0.18) * (dt - 0.18) / (2 * 0.045 * 0.045));     // T
+    v -= 0.08 * std::exp(-(dt + 0.05) * (dt + 0.05) / (2 * 0.012 * 0.012));     // Q
+  }
+  v += cfg_.noise * rng_.normal();
+  out.channels = {v};
+}
+
+// --------------------------------------------------------- environment ----
+
+void EnvironmentSignal::generate(sim::SimTime t, Sample& out) {
+  const double ts = t.to_seconds();
+  value_ += cfg_.walk_step * rng_.normal();
+  value_ += cfg_.reversion * (cfg_.mean - value_);
+  value_ = std::clamp(value_, cfg_.min, cfg_.max);
+  double v = value_;
+  if (cfg_.diurnal_amp != 0.0) {
+    v += cfg_.diurnal_amp * std::sin(kTwoPi * ts / 86400.0);
+  }
+  v += cfg_.noise * rng_.normal();
+  out.channels = {std::clamp(v, cfg_.min, cfg_.max)};
+}
+
+// --------------------------------------------------------------- audio ----
+
+std::vector<double> AudioSignal::keyword_waveform(int word_id, double sample_rate_hz,
+                                                  double duration_s, double level) {
+  // Three formant-like tone segments whose frequencies are derived from the
+  // word id — distinct words get distinct spectro-temporal shapes.
+  const auto n = static_cast<std::size_t>(duration_s * sample_rate_hz);
+  std::vector<double> wave(n, 0.0);
+  const double f1 = 80.0 + 35.0 * ((word_id * 7) % 5);
+  const double f2 = 160.0 + 45.0 * ((word_id * 13) % 5);
+  const double f3 = 260.0 + 55.0 * ((word_id * 3) % 4);
+  const double seg = duration_s / 3.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ts = static_cast<double>(i) / sample_rate_hz;
+    double f = ts < seg ? f1 : (ts < 2 * seg ? f2 : f3);
+    // Soft attack/decay envelope.
+    const double env = std::sin(std::numbers::pi * ts / duration_s);
+    wave[i] = level * env * std::sin(kTwoPi * f * ts);
+  }
+  return wave;
+}
+
+void AudioSignal::generate(sim::SimTime t, Sample& out) {
+  const double ts = t.to_seconds();
+  double v = cfg_.ambient_level * rng_.normal();
+  for (const auto& u : cfg_.utterances) {
+    const double dt = ts - u.start_s;
+    if (dt < 0.0 || dt >= cfg_.utterance_duration_s) continue;
+    const double f1 = 80.0 + 35.0 * ((u.word_id * 7) % 5);
+    const double f2 = 160.0 + 45.0 * ((u.word_id * 13) % 5);
+    const double f3 = 260.0 + 55.0 * ((u.word_id * 3) % 4);
+    const double seg = cfg_.utterance_duration_s / 3.0;
+    const double f = dt < seg ? f1 : (dt < 2 * seg ? f2 : f3);
+    const double env = std::sin(std::numbers::pi * dt / cfg_.utterance_duration_s);
+    v += cfg_.utterance_level * env * std::sin(kTwoPi * f * dt);
+  }
+  out.channels = {v};
+}
+
+// -------------------------------------------------------------- camera ----
+
+void CameraSignal::generate(sim::SimTime t, Sample& out) {
+  const double ts = t.to_seconds();
+  auto img = codecs::jpeg::Image::allocate(cfg_.width, cfg_.height);
+  // Background gradient.
+  for (int y = 0; y < cfg_.height; ++y) {
+    for (int x = 0; x < cfg_.width; ++x) {
+      auto* p = img.pixel(x, y);
+      p[0] = static_cast<std::uint8_t>((x * 200) / cfg_.width + 30);
+      p[1] = static_cast<std::uint8_t>((y * 200) / cfg_.height + 20);
+      p[2] = static_cast<std::uint8_t>(((x + y) * 150) / (cfg_.width + cfg_.height) + 50);
+    }
+  }
+  if (cfg_.moving_object) {
+    // A bright square drifting across the scene.
+    const int ox = static_cast<int>(std::fmod(ts * 40.0, cfg_.width - 40));
+    const int oy = cfg_.height / 3;
+    for (int y = oy; y < std::min(oy + 32, cfg_.height); ++y) {
+      for (int x = ox; x < std::min(ox + 32, cfg_.width); ++x) {
+        auto* p = img.pixel(x, y);
+        p[0] = 240;
+        p[1] = 220;
+        p[2] = 40;
+      }
+    }
+  }
+  // Per-pixel sensor noise: calibrated so a 320×240 frame compresses to
+  // ≈24 KB, the low-res camera's Table I output size.
+  for (int y = 0; y < cfg_.height; ++y) {
+    for (int x = 0; x < cfg_.width; ++x) {
+      auto* p = img.pixel(x, y);
+      const int n = static_cast<int>(rng_.uniform_int(-16, 16));
+      for (int c = 0; c < 3; ++c) {
+        p[c] = static_cast<std::uint8_t>(std::clamp<int>(p[c] + n, 0, 255));
+      }
+    }
+  }
+  out.blob = codecs::jpeg::encode(img, codecs::jpeg::EncoderConfig{cfg_.quality});
+  out.channels = {static_cast<double>(out.blob.size())};
+}
+
+// --------------------------------------------------------- fingerprint ----
+
+FingerprintSignal::FingerprintSignal(Config cfg, sim::Rng rng) : cfg_{cfg}, rng_{rng} {
+  for (std::uint16_t id = 1; id <= cfg_.population; ++id) {
+    codecs::fingerprint::Template tpl;
+    tpl.subject_id = id;
+    for (std::size_t i = 0; i < cfg_.minutiae_per_finger; ++i) {
+      codecs::fingerprint::Minutia m;
+      m.x = static_cast<std::uint16_t>(rng_.uniform_int(0, 499));
+      m.y = static_cast<std::uint16_t>(rng_.uniform_int(0, 499));
+      m.angle_cdeg = static_cast<std::uint16_t>(rng_.uniform_int(0, 35999));
+      m.type = rng_.bernoulli(0.5) ? codecs::fingerprint::MinutiaType::kRidgeEnding
+                                   : codecs::fingerprint::MinutiaType::kBifurcation;
+      m.quality = static_cast<std::uint8_t>(rng_.uniform_int(50, 100));
+      tpl.minutiae.push_back(m);
+    }
+    enrolled_.push_back(std::move(tpl));
+  }
+}
+
+void FingerprintSignal::generate(sim::SimTime, Sample& out) {
+  codecs::fingerprint::Template probe;
+  if (rng_.bernoulli(cfg_.stranger_prob)) {
+    probe.subject_id = 0;  // stranger
+    for (std::size_t i = 0; i < cfg_.minutiae_per_finger; ++i) {
+      codecs::fingerprint::Minutia m;
+      m.x = static_cast<std::uint16_t>(rng_.uniform_int(0, 499));
+      m.y = static_cast<std::uint16_t>(rng_.uniform_int(0, 499));
+      m.angle_cdeg = static_cast<std::uint16_t>(rng_.uniform_int(0, 35999));
+      m.type = rng_.bernoulli(0.5) ? codecs::fingerprint::MinutiaType::kRidgeEnding
+                                   : codecs::fingerprint::MinutiaType::kBifurcation;
+      probe.minutiae.push_back(m);
+    }
+  } else {
+    const auto& base =
+        enrolled_[static_cast<std::size_t>(rng_.uniform_int(0, cfg_.population - 1))];
+    probe.subject_id = base.subject_id;
+    for (const auto& m : base.minutiae) {
+      if (rng_.bernoulli(0.12)) continue;  // missed minutia on recapture
+      codecs::fingerprint::Minutia j = m;
+      j.x = static_cast<std::uint16_t>(
+          std::clamp<std::int64_t>(m.x + rng_.uniform_int(-4, 4), 0, 499));
+      j.y = static_cast<std::uint16_t>(
+          std::clamp<std::int64_t>(m.y + rng_.uniform_int(-4, 4), 0, 499));
+      j.angle_cdeg =
+          static_cast<std::uint16_t>((m.angle_cdeg + 36000 + rng_.uniform_int(-400, 400)) % 36000);
+      probe.minutiae.push_back(j);
+    }
+  }
+  out.blob = codecs::fingerprint::serialize(probe);
+  out.channels = {static_cast<double>(probe.subject_id)};
+}
+
+}  // namespace iotsim::sensors

@@ -1,0 +1,52 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace iotsim::sim {
+
+EventId EventQueue::schedule(SimTime when, Callback cb) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, id, id});
+  pending_.emplace(id, std::move(cb));
+  ++live_count_;
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  if (pending_.erase(id) > 0) {
+    --live_count_;
+  }
+}
+
+void EventQueue::drop_cancelled_front() {
+  while (!heap_.empty() && !pending_.contains(heap_.top().id)) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() {
+  drop_cancelled_front();
+  if (heap_.empty()) return SimTime::infinite();
+  return heap_.top().time;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  drop_cancelled_front();
+  assert(!heap_.empty() && "pop() on empty EventQueue");
+  const Entry e = heap_.top();
+  heap_.pop();
+  auto it = pending_.find(e.id);
+  Popped out{e.time, e.id, std::move(it->second)};
+  pending_.erase(it);
+  --live_count_;
+  return out;
+}
+
+void EventQueue::clear() {
+  heap_ = {};
+  pending_.clear();
+  live_count_ = 0;
+}
+
+}  // namespace iotsim::sim

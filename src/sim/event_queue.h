@@ -1,0 +1,70 @@
+// A deterministic pending-event set for the discrete-event kernel.
+//
+// Events at equal timestamps fire in insertion order (FIFO tie-break), which
+// makes multi-component simulations reproducible run to run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/sim_time.h"
+
+namespace iotsim::sim {
+
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` to run at absolute time `when`. Returns a handle that can
+  /// be passed to `cancel`.
+  EventId schedule(SimTime when, Callback cb);
+
+  /// Marks a still-pending event as cancelled; it is dropped lazily.
+  /// Cancelling an already-fired or unknown id is a harmless no-op.
+  void cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return live_count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_count_; }
+
+  /// Time of the earliest live event; SimTime::infinite() when empty.
+  [[nodiscard]] SimTime next_time();
+
+  /// Removes and returns the earliest live event. Precondition: !empty().
+  struct Popped {
+    SimTime time;
+    EventId id;
+    Callback callback;
+  };
+  Popped pop();
+
+  void clear();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    EventId id;
+    // std::greater on Entry gives a min-heap on (time, seq).
+    bool operator>(const Entry& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  /// Pops heap entries whose callback was cancelled.
+  void drop_cancelled_front();
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  // Callbacks live beside the heap so Entry stays trivially movable; an id
+  // missing from this map means the event was cancelled.
+  std::unordered_map<EventId, Callback> pending_;
+  std::uint64_t next_id_ = 1;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace iotsim::sim

@@ -1,0 +1,32 @@
+#include "sim/join.h"
+
+#include <memory>
+
+namespace iotsim::sim {
+
+namespace {
+
+Task<void> run_and_arrive(Task<void> t, std::shared_ptr<JoinCounter> counter) {
+  co_await t;
+  counter->arrive();
+}
+
+}  // namespace
+
+Task<void> when_all(Simulator& sim, std::vector<Task<void>> tasks) {
+  auto counter = std::make_shared<JoinCounter>(static_cast<int>(tasks.size()));
+  for (auto& t : tasks) {
+    sim.spawn(run_and_arrive(std::move(t), counter));
+  }
+  tasks.clear();
+  co_await counter->wait();
+}
+
+Task<void> when_all(Simulator& sim, Task<void> a, Task<void> b) {
+  std::vector<Task<void>> tasks;
+  tasks.push_back(std::move(a));
+  tasks.push_back(std::move(b));
+  co_await when_all(sim, std::move(tasks));
+}
+
+}  // namespace iotsim::sim

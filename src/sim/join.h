@@ -1,0 +1,42 @@
+// Structured concurrency helpers: run several tasks concurrently and wait
+// for all of them (e.g. the CPU driving its NIC while the wire clocks bits).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "sim/process.h"
+#include "sim/simulator.h"
+
+namespace iotsim::sim {
+
+/// Count-down latch for coroutines.
+class JoinCounter {
+ public:
+  explicit JoinCounter(int count) : remaining_{count} {}
+
+  void arrive() {
+    if (--remaining_ == 0) done_.notify_all();
+  }
+
+  [[nodiscard]] Task<void> wait() {
+    if (remaining_ > 0) co_await done_.wait();
+  }
+
+  [[nodiscard]] int remaining() const { return remaining_; }
+
+ private:
+  int remaining_;
+  Signal done_;
+};
+
+/// Runs all tasks concurrently; completes when every one has finished.
+/// The child tasks are detached onto the simulator (which owns their
+/// frames), so `when_all` is safe even if the awaiting coroutine is
+/// destroyed afterwards.
+[[nodiscard]] Task<void> when_all(Simulator& sim, std::vector<Task<void>> tasks);
+
+/// Two-task convenience overload.
+[[nodiscard]] Task<void> when_all(Simulator& sim, Task<void> a, Task<void> b);
+
+}  // namespace iotsim::sim

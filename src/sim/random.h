@@ -1,0 +1,45 @@
+// Deterministic pseudo-random source for signal synthesis.
+//
+// xoshiro256** seeded via SplitMix64 — fast, reproducible across platforms,
+// and independent of libstdc++ distribution implementations (std::normal_
+// distribution output is not portable, so we roll Box–Muller ourselves).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace iotsim::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Uniform over all 64-bit values.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box–Muller (cached pair).
+  double normal();
+  double normal(double mean, double stddev);
+
+  /// True with probability p.
+  bool bernoulli(double p);
+
+  /// Derives an independent child stream (for per-sensor generators).
+  [[nodiscard]] Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace iotsim::sim

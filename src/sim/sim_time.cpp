@@ -1,0 +1,40 @@
+#include "sim/sim_time.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace iotsim::sim {
+
+Duration Duration::from_seconds(double s) {
+  return Duration{static_cast<std::int64_t>(std::llround(s * 1e9))};
+}
+
+Duration Duration::from_ms(double v) {
+  return Duration{static_cast<std::int64_t>(std::llround(v * 1e6))};
+}
+
+Duration Duration::from_us(double v) {
+  return Duration{static_cast<std::int64_t>(std::llround(v * 1e3))};
+}
+
+std::string Duration::to_string() const {
+  std::ostringstream os;
+  if (ns_ >= 1'000'000'000 || ns_ <= -1'000'000'000) {
+    os << to_seconds() << " s";
+  } else if (ns_ >= 1'000'000 || ns_ <= -1'000'000) {
+    os << to_ms() << " ms";
+  } else if (ns_ >= 1'000 || ns_ <= -1'000) {
+    os << to_us() << " us";
+  } else {
+    os << ns_ << " ns";
+  }
+  return os.str();
+}
+
+std::string SimTime::to_string() const {
+  std::ostringstream os;
+  os << "t=" << to_seconds() << "s";
+  return os.str();
+}
+
+}  // namespace iotsim::sim

@@ -1,0 +1,78 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace iotsim::sim {
+
+Simulator::~Simulator() {
+  // Pending events may reference coroutine frames; drop them before the
+  // frames are destroyed with processes_.
+  queue_.clear();
+}
+
+EventId Simulator::at(SimTime t, EventQueue::Callback cb) {
+  assert(t >= now_ && "cannot schedule into the past");
+  return queue_.schedule(t, std::move(cb));
+}
+
+EventId Simulator::after(Duration d, EventQueue::Callback cb) {
+  assert(!d.is_negative());
+  return at(now_ + d, std::move(cb));
+}
+
+void Simulator::spawn(Task<void> task) {
+  assert(task.valid());
+  auto handle = task.handle();
+  handle.promise().sim = this;
+  processes_.push_back(std::move(task));
+  at(now_, [handle] { handle.resume(); });
+}
+
+void Simulator::advance_to(SimTime t) {
+  if (t == now_) return;
+  assert(t > now_);
+  now_ = t;
+  for (auto& l : clock_listeners_) l(now_);
+}
+
+std::uint64_t Simulator::run() { return run_until(SimTime::infinite()); }
+
+std::uint64_t Simulator::run_until(SimTime deadline) {
+  assert(!running_ && "re-entrant run()");
+  running_ = true;
+  stop_requested_ = false;
+  std::uint64_t dispatched = 0;
+  while (!stop_requested_ && !queue_.empty()) {
+    if (queue_.next_time() > deadline) {
+      advance_to(deadline);
+      break;
+    }
+    auto ev = queue_.pop();
+    advance_to(ev.time);
+    ev.callback();
+    ++dispatched;
+  }
+  if (queue_.empty() && deadline != SimTime::infinite() && now_ < deadline && !stop_requested_) {
+    advance_to(deadline);
+  }
+  running_ = false;
+  return dispatched;
+}
+
+std::size_t Simulator::live_processes() const {
+  return static_cast<std::size_t>(
+      std::count_if(processes_.begin(), processes_.end(),
+                    [](const Task<void>& t) { return t.valid() && !t.done(); }));
+}
+
+bool Simulator::all_processes_done() const { return live_processes() == 0; }
+
+void Simulator::check_processes() const {
+  for (const auto& t : processes_) {
+    if (t.done()) t.check();
+  }
+}
+
+}  // namespace iotsim::sim

@@ -1,0 +1,73 @@
+// The discrete-event simulation kernel.
+//
+// Single-threaded: events pop in (time, insertion) order; coroutine processes
+// resume from event callbacks. The kernel knows nothing about hardware — the
+// hw/ layer builds component models on top of it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/process.h"
+#include "sim/sim_time.h"
+
+namespace iotsim::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+  ~Simulator();
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules a raw callback at absolute time `t` (must not precede now()).
+  EventId at(SimTime t, EventQueue::Callback cb);
+  /// Schedules a raw callback `d` from now.
+  EventId after(Duration d, EventQueue::Callback cb);
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Takes ownership of a top-level process and schedules its start at now().
+  void spawn(Task<void> task);
+
+  /// Runs until the event queue drains or stop() is called. Returns the
+  /// number of events dispatched.
+  std::uint64_t run();
+
+  /// Runs until the queue drains, stop() is called, or simulated time would
+  /// pass `deadline`; now() is advanced to `deadline` if the horizon is hit.
+  std::uint64_t run_until(SimTime deadline);
+
+  /// Requests that run()/run_until() return after the current event.
+  void stop() { stop_requested_ = true; }
+
+  [[nodiscard]] std::size_t pending_events() { return queue_.size(); }
+  [[nodiscard]] std::size_t live_processes() const;
+
+  /// True if every spawned process has run to completion.
+  [[nodiscard]] bool all_processes_done() const;
+
+  /// Rethrows the first exception stored by any completed process.
+  void check_processes() const;
+
+  /// Registered observers run whenever now() advances (power-trace flushing).
+  using ClockListener = std::function<void(SimTime)>;
+  void add_clock_listener(ClockListener l) { clock_listeners_.push_back(std::move(l)); }
+
+ private:
+  void advance_to(SimTime t);
+
+  SimTime now_ = SimTime::origin();
+  EventQueue queue_;
+  std::vector<Task<void>> processes_;
+  std::vector<ClockListener> clock_listeners_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+};
+
+}  // namespace iotsim::sim

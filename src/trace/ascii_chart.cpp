@@ -1,0 +1,79 @@
+#include "trace/ascii_chart.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <iomanip>
+#include <numeric>
+#include <sstream>
+
+namespace iotsim::trace {
+
+namespace {
+constexpr char kSeriesGlyphs[] = {'#', '=', ':', '.', '%', '+', '*', 'o'};
+
+std::size_t label_width(const auto& bars) {
+  std::size_t w = 0;
+  for (const auto& b : bars) w = std::max(w, b.label.size());
+  return w;
+}
+}  // namespace
+
+void BarChart::add(std::string label, double value) { bars_.push_back({std::move(label), value}); }
+
+std::string BarChart::render(std::size_t width) const {
+  std::ostringstream os;
+  double max_v = 0.0;
+  for (const auto& b : bars_) max_v = std::max(max_v, b.value);
+  const std::size_t lw = label_width(bars_);
+  for (const auto& b : bars_) {
+    os << std::left << std::setw(static_cast<int>(lw)) << b.label << " |";
+    const auto n = max_v > 0.0
+                       ? static_cast<std::size_t>(std::lround(b.value / max_v *
+                                                              static_cast<double>(width)))
+                       : 0;
+    os << std::string(n, '#') << std::string(width - std::min(n, width), ' ');
+    os << "| " << std::setprecision(4) << b.value;
+    if (!unit_.empty()) os << ' ' << unit_;
+    os << '\n';
+  }
+  return os.str();
+}
+
+void StackedBarChart::add(std::string label, std::vector<double> values) {
+  assert(values.size() == series_.size());
+  bars_.push_back({std::move(label), std::move(values)});
+}
+
+std::string StackedBarChart::render(std::size_t width) const {
+  std::ostringstream os;
+  os << "legend:";
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    os << "  [" << kSeriesGlyphs[i % sizeof(kSeriesGlyphs)] << "] " << series_[i];
+  }
+  os << '\n';
+
+  double max_total = 0.0;
+  for (const auto& b : bars_) {
+    max_total = std::max(max_total, std::accumulate(b.values.begin(), b.values.end(), 0.0));
+  }
+  const std::size_t lw = label_width(bars_);
+  for (const auto& b : bars_) {
+    os << std::left << std::setw(static_cast<int>(lw)) << b.label << " |";
+    const double total = std::accumulate(b.values.begin(), b.values.end(), 0.0);
+    std::size_t used = 0;
+    for (std::size_t i = 0; i < b.values.size(); ++i) {
+      const auto n = max_total > 0.0
+                         ? static_cast<std::size_t>(std::lround(
+                               b.values[i] / max_total * static_cast<double>(width)))
+                         : 0;
+      os << std::string(n, kSeriesGlyphs[i % sizeof(kSeriesGlyphs)]);
+      used += n;
+    }
+    os << std::string(width > used ? width - used : 0, ' ');
+    os << "| " << std::setprecision(4) << total << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace iotsim::trace

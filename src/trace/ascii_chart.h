@@ -1,0 +1,48 @@
+// Terminal renderings of the paper's figures: plain and stacked bar charts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace iotsim::trace {
+
+/// Horizontal bar chart (Fig. 1 / Fig. 13 style).
+class BarChart {
+ public:
+  explicit BarChart(std::string unit = "") : unit_{std::move(unit)} {}
+
+  void add(std::string label, double value);
+  /// Renders all bars scaled to the maximum value.
+  [[nodiscard]] std::string render(std::size_t width = 60) const;
+
+ private:
+  struct Bar {
+    std::string label;
+    double value;
+  };
+  std::vector<Bar> bars_;
+  std::string unit_;
+};
+
+/// Horizontal stacked bar chart (the paper's energy-breakdown figures).
+class StackedBarChart {
+ public:
+  explicit StackedBarChart(std::vector<std::string> series) : series_{std::move(series)} {}
+
+  /// `values` must have one entry per series.
+  void add(std::string label, std::vector<double> values);
+
+  /// Renders bars scaled to the maximum bar total; each series gets a glyph
+  /// from the legend.
+  [[nodiscard]] std::string render(std::size_t width = 60) const;
+
+ private:
+  std::vector<std::string> series_;
+  struct Bar {
+    std::string label;
+    std::vector<double> values;
+  };
+  std::vector<Bar> bars_;
+};
+
+}  // namespace iotsim::trace

@@ -1,0 +1,27 @@
+// Minimal CSV emitter (RFC-4180 quoting) for bench data export.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace iotsim::trace {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers) : headers_{std::move(headers)} {}
+
+  void add_row(std::vector<std::string> cells);
+
+  void write(std::ostream& os) const;
+  /// Writes to a file; returns false on IO failure.
+  bool write_file(const std::string& path) const;
+
+  [[nodiscard]] static std::string escape(const std::string& field);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace iotsim::trace

@@ -1,0 +1,35 @@
+// Instruction-rate accounting — the simulated stand-in for the paper's
+// oprofile MIPS characterisation (Fig. 6).
+//
+// Kernels report retired-instruction counts per invocation (calibrated per
+// workload, see apps/workload_spec.h); the counter converts them into the
+// paper's "MIPS executed" metric: instructions retired per second of
+// workload window.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "sim/sim_time.h"
+
+namespace iotsim::trace {
+
+class MipsCounter {
+ public:
+  /// Accumulates `instructions` retired by `owner` (an app or component tag).
+  void add(const std::string& owner, std::uint64_t instructions);
+
+  [[nodiscard]] std::uint64_t instructions(const std::string& owner) const;
+  [[nodiscard]] std::uint64_t total_instructions() const;
+
+  /// Million instructions per second over a window (Fig. 6's y-axis).
+  [[nodiscard]] double mips(const std::string& owner, sim::Duration window) const;
+
+  void reset();
+
+ private:
+  std::unordered_map<std::string, std::uint64_t> counts_;
+};
+
+}  // namespace iotsim::trace

@@ -1,0 +1,27 @@
+// Aligned console tables for bench output (paper table/figure rows).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace iotsim::trace {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles to `precision` significant digits.
+  static std::string num(double v, int precision = 4);
+  /// Formats a ratio as a percentage string ("52.3%").
+  static std::string pct(double fraction, int precision = 1);
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace iotsim::trace

@@ -1,0 +1,92 @@
+// Property tests: Table II's derived columns (data volume, interrupt
+// counts) must fall out of Table I's QoS rates with a 1-second window.
+#include "apps/workload_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace iotsim::apps {
+namespace {
+
+struct TableTwoRow {
+  AppId id;
+  double data_kb;
+  int interrupts;
+};
+
+// The paper's Table II values.
+const TableTwoRow kPaperRows[] = {
+    {AppId::kA1CoapServer, 11.72, 2000}, {AppId::kA2StepCounter, 11.72, 1000},
+    {AppId::kA3ArduinoJson, 0.16, 20},   {AppId::kA4M2x, 20.47, 2220},
+    {AppId::kA5Blynk, 36.91, 1221},      {AppId::kA6Dropbox, 11.72, 2000},
+    {AppId::kA7Earthquake, 11.72, 1000}, {AppId::kA8Heartbeat, 3.91, 1000},
+    {AppId::kA10Fingerprint, 0.5, 1},
+};
+
+class TableTwo : public ::testing::TestWithParam<TableTwoRow> {};
+
+TEST_P(TableTwo, InterruptCountMatchesPaper) {
+  const auto& row = GetParam();
+  EXPECT_EQ(spec_of(row.id).interrupts_per_window(), row.interrupts);
+}
+
+TEST_P(TableTwo, DataVolumeMatchesPaper) {
+  const auto& row = GetParam();
+  const double kb = static_cast<double>(spec_of(row.id).sensor_bytes_per_window()) / 1024.0;
+  EXPECT_NEAR(kb, row.data_kb, row.data_kb * 0.05 + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRows, TableTwo, ::testing::ValuesIn(kPaperRows),
+                         [](const auto& info) {
+                           return std::string{code_of(info.param.id)};
+                         });
+
+TEST(WorkloadSpec, AllElevenAppsHaveSpecs) {
+  for (auto id : kAllApps) {
+    const auto& s = spec_of(id);
+    EXPECT_EQ(s.id, id);
+    EXPECT_FALSE(s.code.empty());
+    EXPECT_FALSE(s.sensor_ids.empty());
+    EXPECT_GT(s.window, sim::Duration::zero());
+    EXPECT_GT(s.cpu_compute, sim::Duration::zero());
+    EXPECT_GT(s.fig6_mips, 0.0);
+  }
+}
+
+TEST(WorkloadSpec, OnlyA11IsHeavy) {
+  for (auto id : kLightweightApps) {
+    EXPECT_TRUE(spec_of(id).offloadable_kernel()) << code_of(id);
+  }
+  EXPECT_FALSE(spec_of(AppId::kA11SpeechToText).offloadable_kernel());
+  EXPECT_GT(spec_of(AppId::kA11SpeechToText).memory_footprint_bytes, 1'000'000'000u);
+}
+
+TEST(WorkloadSpec, Fig8Anchors) {
+  const auto& sc = spec_of(AppId::kA2StepCounter);
+  EXPECT_DOUBLE_EQ(sc.cpu_compute.to_ms(), 2.21);
+  EXPECT_DOUBLE_EQ(sc.mcu_compute.to_ms(), 21.7);
+  EXPECT_DOUBLE_EQ(sc.fig6_mips, 3.94);
+}
+
+TEST(WorkloadSpec, SlowdownAppsAreMcuHeavy) {
+  // A3 and A8 must lose performance under COM (Fig. 13): their MCU kernel
+  // exceeds the per-window interrupt+transfer time they save.
+  for (AppId id : {AppId::kA3ArduinoJson, AppId::kA8Heartbeat}) {
+    const auto& s = spec_of(id);
+    // saved ≈ interrupts × (dispatch + per-sample transfer) — bounded below
+    // by dispatch alone.
+    const double saved_ms_lower_bound = s.interrupts_per_window() * 0.1;
+    EXPECT_GT(s.mcu_compute.to_ms() - s.cpu_compute.to_ms(), saved_ms_lower_bound)
+        << code_of(id);
+  }
+}
+
+TEST(WorkloadSpec, NetworkProfilesMatchCategories) {
+  EXPECT_TRUE(spec_of(AppId::kA4M2x).net.active());
+  EXPECT_TRUE(spec_of(AppId::kA5Blynk).net.active());
+  EXPECT_TRUE(spec_of(AppId::kA6Dropbox).net.active());
+  EXPECT_FALSE(spec_of(AppId::kA2StepCounter).net.active());
+  EXPECT_FALSE(spec_of(AppId::kA9JpegDecoder).net.active());
+}
+
+}  // namespace
+}  // namespace iotsim::apps

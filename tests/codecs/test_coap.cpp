@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "codecs/coap/coap_codec.h"
+#include "codecs/coap/coap_message.h"
+
+namespace iotsim::codecs::coap {
+namespace {
+
+Message sample_request() {
+  Message msg;
+  msg.type = Type::kConfirmable;
+  msg.code = kGet;
+  msg.message_id = 0xBEEF;
+  msg.token = {0x11, 0x22, 0x33};
+  msg.add_uri_path("sensors");
+  msg.add_uri_path("accel");
+  msg.add_option(OptionNumber::kAccept, {50});  // application/json
+  return msg;
+}
+
+TEST(CoapCodec, HeaderLayout) {
+  Message msg;
+  msg.type = Type::kNonConfirmable;
+  msg.code = kPost;
+  msg.message_id = 0x1234;
+  const auto wire = encode(msg);
+  ASSERT_GE(wire.size(), 4u);
+  EXPECT_EQ(wire[0], 0x50);  // version 1, NON, TKL 0
+  EXPECT_EQ(wire[1], 0x02);  // 0.02 POST
+  EXPECT_EQ(wire[2], 0x12);
+  EXPECT_EQ(wire[3], 0x34);
+}
+
+TEST(CoapCodec, RoundTripRequest) {
+  const Message msg = sample_request();
+  const auto wire = encode(msg);
+  const auto decoded = decode(wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded.message, msg);
+  EXPECT_EQ(decoded.message->uri_path(), (std::vector<std::string>{"sensors", "accel"}));
+}
+
+TEST(CoapCodec, RoundTripWithPayload) {
+  Message msg;
+  msg.type = Type::kAcknowledgement;
+  msg.code = kContent;
+  msg.message_id = 7;
+  msg.set_payload_text(R"({"accel":[0.1,0.2,9.8]})");
+  const auto wire = encode(msg);
+  const auto decoded = decode(wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.message->payload_text(), R"({"accel":[0.1,0.2,9.8]})");
+  EXPECT_EQ(decoded.message->code, kContent);
+}
+
+TEST(CoapCodec, ExtendedOptionDeltaAndLength) {
+  Message msg;
+  msg.message_id = 1;
+  // Delta 11 (nibble), then large option number (delta > 268 ⇒ 14-encoding)
+  msg.add_option(OptionNumber::kUriPath, {'a'});
+  msg.options.push_back(Option{2000, std::vector<std::uint8_t>(300, 0xAB)});  // long value
+  const auto wire = encode(msg);
+  const auto decoded = decode(wire);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.message->options.size(), 2u);
+  EXPECT_EQ(decoded.message->options[1].number, 2000);
+  EXPECT_EQ(decoded.message->options[1].value.size(), 300u);
+}
+
+TEST(CoapCodec, OptionsSortedOnEncode) {
+  Message msg;
+  msg.message_id = 9;
+  msg.add_option(OptionNumber::kUriQuery, {'q'});   // 15
+  msg.add_option(OptionNumber::kUriPath, {'p'});    // 11
+  const auto decoded = decode(encode(msg));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.message->options[0].number,
+            static_cast<std::uint16_t>(OptionNumber::kUriPath));
+  EXPECT_EQ(decoded.message->options[1].number,
+            static_cast<std::uint16_t>(OptionNumber::kUriQuery));
+}
+
+TEST(CoapCodec, RejectsTruncated) {
+  EXPECT_FALSE(decode(std::vector<std::uint8_t>{0x40}).ok());
+  const auto wire = encode(sample_request());
+  // Chop inside the token.
+  EXPECT_FALSE(decode(std::span{wire}.first(5)).ok());
+}
+
+TEST(CoapCodec, RejectsBadVersion) {
+  std::vector<std::uint8_t> wire{0x00, 0x01, 0x00, 0x01};  // version 0
+  EXPECT_FALSE(decode(wire).ok());
+}
+
+TEST(CoapCodec, RejectsMarkerWithoutPayload) {
+  std::vector<std::uint8_t> wire{0x40, 0x01, 0x00, 0x01, 0xFF};
+  EXPECT_FALSE(decode(wire).ok());
+}
+
+TEST(CoapCodec, TokenLongerThan8Rejected) {
+  std::vector<std::uint8_t> wire{0x49, 0x01, 0x00, 0x01};  // TKL 9
+  wire.resize(14, 0);
+  EXPECT_FALSE(decode(wire).ok());
+}
+
+TEST(CoapCode, ByteSplit) {
+  EXPECT_EQ(kContent.byte(), 0x45);  // 2.05
+  const Code c = Code::from_byte(0x84);
+  EXPECT_EQ(c.cls, 4);
+  EXPECT_EQ(c.detail, 4);
+}
+
+}  // namespace
+}  // namespace iotsim::codecs::coap

@@ -1,0 +1,158 @@
+#include "codecs/coap/coap_server.h"
+
+#include <gtest/gtest.h>
+
+namespace iotsim::codecs::coap {
+namespace {
+
+Message get_request(const std::string& path, std::uint16_t mid,
+                    std::vector<std::uint8_t> token = {0xAA}) {
+  Message req;
+  req.type = Type::kConfirmable;
+  req.code = kGet;
+  req.message_id = mid;
+  req.token = std::move(token);
+  req.add_uri_path(path);
+  return req;
+}
+
+TEST(BlockOption, EncodeParseRoundTrip) {
+  for (std::uint32_t num : {0u, 1u, 5u, 300u}) {
+    for (std::uint32_t size : {16u, 64u, 256u, 1024u}) {
+      for (bool more : {false, true}) {
+        BlockOption block{num, more, size};
+        const auto parsed = BlockOption::parse(Option{23, block.encode()});
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(parsed->num, num);
+        EXPECT_EQ(parsed->more, more);
+        EXPECT_EQ(parsed->size, size);
+      }
+    }
+  }
+}
+
+TEST(BlockOption, RejectsReservedSzx) {
+  EXPECT_FALSE(BlockOption::parse(Option{23, {0x07}}).has_value());  // SZX=7
+  EXPECT_FALSE(BlockOption::parse(Option{23, {1, 2, 3, 4}}).has_value());
+}
+
+TEST(CoapServer, ServesKnownResource) {
+  CoapServer server;
+  server.add_resource("light", [] { return std::string{"{\"lux\":300}"}; });
+  const Message resp = server.handle(get_request("light", 1));
+  EXPECT_EQ(resp.code, kContent);
+  EXPECT_EQ(resp.payload_text(), "{\"lux\":300}");
+  EXPECT_EQ(resp.type, Type::kAcknowledgement);
+  EXPECT_EQ(resp.message_id, 1);
+}
+
+TEST(CoapServer, UnknownPathIs404) {
+  CoapServer server;
+  const Message resp = server.handle(get_request("nope", 2));
+  EXPECT_EQ(resp.code, kNotFound);
+}
+
+TEST(CoapServer, NonGetRejected) {
+  CoapServer server;
+  server.add_resource("light", [] { return std::string{"x"}; });
+  Message req = get_request("light", 3);
+  req.code = kPut;
+  EXPECT_EQ(server.handle(req).code, kNotFound);
+}
+
+TEST(CoapServer, LargeRepresentationGoesBlockwise) {
+  CoapServer server;
+  server.preferred_block_size = 64;
+  const std::string big(200, 'x');
+  server.add_resource("history", [&] { return big; });
+
+  // First block arrives unsolicited with More set.
+  const Message first = server.handle(get_request("history", 10));
+  ASSERT_EQ(first.code, kContent);
+  EXPECT_EQ(first.payload.size(), 64u);
+
+  // Walk the blocks.
+  std::string reassembled;
+  for (std::uint32_t num = 0;; ++num) {
+    Message req = get_request("history", static_cast<std::uint16_t>(20 + num));
+    BlockOption want{num, false, 64};
+    req.add_option(static_cast<OptionNumber>(ExtOption::kBlock2), want.encode());
+    const Message resp = server.handle(req);
+    ASSERT_EQ(resp.code, kContent) << "block " << num;
+    reassembled += resp.payload_text();
+    bool more = false;
+    for (const auto& opt : resp.options) {
+      if (opt.number == static_cast<std::uint16_t>(ExtOption::kBlock2)) {
+        more = BlockOption::parse(opt)->more;
+      }
+    }
+    if (!more) break;
+  }
+  EXPECT_EQ(reassembled, big);
+}
+
+TEST(CoapServer, BlockBeyondEndRejected) {
+  CoapServer server;
+  server.add_resource("r", [] { return std::string(100, 'a'); });
+  Message req = get_request("r", 5);
+  req.add_option(static_cast<OptionNumber>(ExtOption::kBlock2),
+                 BlockOption{99, false, 64}.encode());
+  const Message resp = server.handle(req);
+  EXPECT_EQ(resp.code.cls, 4);
+}
+
+TEST(CoapServer, ObserveRegistersAndNotifies) {
+  CoapServer server;
+  int value = 1;
+  server.add_resource("temp", [&] { return std::to_string(value); });
+
+  Message req = get_request("temp", 7, {0x01, 0x02});
+  req.add_option(static_cast<OptionNumber>(ExtOption::kObserve), {0});
+  const Message resp = server.handle(req);
+  EXPECT_EQ(resp.code, kContent);
+  EXPECT_EQ(server.observer_count("temp"), 1u);
+
+  value = 42;
+  const auto notifications = server.notify_observers("temp");
+  ASSERT_EQ(notifications.size(), 1u);
+  const auto decoded = decode(notifications[0]);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.message->payload_text(), "42");
+  EXPECT_EQ(decoded.message->token, (std::vector<std::uint8_t>{0x01, 0x02}));
+}
+
+TEST(CoapServer, DuplicateObserveRegistrationIgnored) {
+  CoapServer server;
+  server.add_resource("temp", [] { return std::string{"1"}; });
+  for (int i = 0; i < 3; ++i) {
+    Message req = get_request("temp", static_cast<std::uint16_t>(i), {0x01});
+    req.add_option(static_cast<OptionNumber>(ExtOption::kObserve), {0});
+    (void)server.handle(req);
+  }
+  EXPECT_EQ(server.observer_count("temp"), 1u);
+}
+
+TEST(CoapServer, ObserveSequenceIncreases) {
+  CoapServer server;
+  server.add_resource("temp", [] { return std::string{"t"}; });
+  Message req = get_request("temp", 1, {0x09});
+  req.add_option(static_cast<OptionNumber>(ExtOption::kObserve), {0});
+  (void)server.handle(req);
+
+  std::uint8_t prev = 0;
+  for (int i = 0; i < 3; ++i) {
+    const auto notes = server.notify_observers("temp");
+    ASSERT_EQ(notes.size(), 1u);
+    const auto decoded = decode(notes[0]);
+    ASSERT_TRUE(decoded.ok());
+    std::uint8_t seq = 0;
+    for (const auto& opt : decoded.message->options) {
+      if (opt.number == static_cast<std::uint16_t>(ExtOption::kObserve)) seq = opt.value[0];
+    }
+    EXPECT_GT(seq, prev);
+    prev = seq;
+  }
+}
+
+}  // namespace
+}  // namespace iotsim::codecs::coap

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "codecs/fingerprint/matcher.h"
+#include "codecs/fingerprint/minutiae.h"
+#include "sim/random.h"
+
+namespace iotsim::codecs::fingerprint {
+namespace {
+
+Template random_template(std::uint16_t subject, std::size_t count, sim::Rng& rng) {
+  Template tpl;
+  tpl.subject_id = subject;
+  for (std::size_t i = 0; i < count; ++i) {
+    Minutia m;
+    m.x = static_cast<std::uint16_t>(rng.uniform_int(0, 499));
+    m.y = static_cast<std::uint16_t>(rng.uniform_int(0, 499));
+    m.angle_cdeg = static_cast<std::uint16_t>(rng.uniform_int(0, 35999));
+    m.type = rng.bernoulli(0.5) ? MinutiaType::kRidgeEnding : MinutiaType::kBifurcation;
+    m.quality = static_cast<std::uint8_t>(rng.uniform_int(40, 100));
+    tpl.minutiae.push_back(m);
+  }
+  return tpl;
+}
+
+/// A noisy re-capture of the same finger: jittered positions/angles, a few
+/// minutiae dropped.
+Template recapture(const Template& base, sim::Rng& rng) {
+  Template out;
+  out.subject_id = base.subject_id;
+  for (const Minutia& m : base.minutiae) {
+    if (rng.bernoulli(0.15)) continue;  // missed minutia
+    Minutia j = m;
+    j.x = static_cast<std::uint16_t>(std::clamp<std::int64_t>(m.x + rng.uniform_int(-4, 4), 0, 499));
+    j.y = static_cast<std::uint16_t>(std::clamp<std::int64_t>(m.y + rng.uniform_int(-4, 4), 0, 499));
+    j.angle_cdeg = static_cast<std::uint16_t>((m.angle_cdeg + 36000 + rng.uniform_int(-500, 500)) % 36000);
+    out.minutiae.push_back(j);
+  }
+  return out;
+}
+
+TEST(Minutiae, SerialiseIs512Bytes) {
+  sim::Rng rng{1};
+  const Template tpl = random_template(7, 30, rng);
+  const auto bytes = serialize(tpl);
+  EXPECT_EQ(bytes.size(), kTemplateBytes);
+}
+
+TEST(Minutiae, RoundTripPreservesTemplate) {
+  sim::Rng rng{2};
+  const Template tpl = random_template(42, 25, rng);
+  const auto back = deserialize(serialize(tpl));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, tpl);
+}
+
+TEST(Minutiae, TruncatesToMaxMinutiae) {
+  sim::Rng rng{3};
+  const Template big = random_template(1, 100, rng);
+  const auto back = deserialize(serialize(big));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->minutiae.size(), kMaxMinutiae);
+}
+
+TEST(Minutiae, RejectsWrongSizeOrMagic) {
+  EXPECT_FALSE(deserialize(std::vector<std::uint8_t>(100, 0)).has_value());
+  std::vector<std::uint8_t> zeros(kTemplateBytes, 0);
+  EXPECT_FALSE(deserialize(zeros).has_value());
+  sim::Rng rng{4};
+  auto bytes = serialize(random_template(1, 5, rng));
+  bytes[4] = 0xFF;  // implausible count
+  bytes[5] = 0xFF;
+  EXPECT_FALSE(deserialize(bytes).has_value());
+}
+
+TEST(Matcher, IdenticalTemplatesMatchPerfectly) {
+  sim::Rng rng{5};
+  const Template tpl = random_template(9, 30, rng);
+  const MatchResult r = match(tpl, tpl);
+  EXPECT_DOUBLE_EQ(r.score, 1.0);
+  EXPECT_TRUE(r.accepted);
+}
+
+TEST(Matcher, RecaptureOfSameFingerAccepted) {
+  sim::Rng rng{6};
+  const Template tpl = random_template(9, 35, rng);
+  const Template probe = recapture(tpl, rng);
+  const MatchResult r = match(probe, tpl);
+  EXPECT_TRUE(r.accepted) << "score=" << r.score;
+}
+
+TEST(Matcher, DifferentFingersRejected) {
+  sim::Rng rng{7};
+  const Template a = random_template(1, 35, rng);
+  const Template b = random_template(2, 35, rng);
+  const MatchResult r = match(a, b);
+  EXPECT_FALSE(r.accepted) << "score=" << r.score;
+}
+
+TEST(Matcher, EmptyTemplatesScoreZero) {
+  const MatchResult r = match(Template{}, Template{});
+  EXPECT_DOUBLE_EQ(r.score, 0.0);
+  EXPECT_FALSE(r.accepted);
+}
+
+TEST(EnrollmentDb, IdentifiesEnrolledSubject) {
+  sim::Rng rng{8};
+  EnrollmentDb db;
+  std::vector<Template> fingers;
+  for (std::uint16_t id = 1; id <= 10; ++id) {
+    fingers.push_back(random_template(id, 32, rng));
+    ASSERT_TRUE(db.enroll(fingers.back()));
+  }
+  // Probe with a noisy recapture of subject 4.
+  const auto id = db.identify(recapture(fingers[3], rng));
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(*id, 4);
+}
+
+TEST(EnrollmentDb, UnknownProbeRejected) {
+  sim::Rng rng{9};
+  EnrollmentDb db;
+  for (std::uint16_t id = 1; id <= 5; ++id) ASSERT_TRUE(db.enroll(random_template(id, 32, rng)));
+  const auto id = db.identify(random_template(99, 32, rng));
+  EXPECT_FALSE(id.has_value());
+}
+
+TEST(EnrollmentDb, CapacityEnforced) {
+  sim::Rng rng{10};
+  EnrollmentDb db;
+  EXPECT_TRUE(db.enroll(random_template(1, 5, rng), 2));
+  EXPECT_TRUE(db.enroll(random_template(2, 5, rng), 2));
+  EXPECT_FALSE(db.enroll(random_template(3, 5, rng), 2));
+  EXPECT_EQ(db.size(), 2u);
+}
+
+// Property sweep: acceptance is monotone in jitter — clean recaptures of 20
+// subjects are all identified.
+class MatcherSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatcherSweep, RecaptureIdentified) {
+  sim::Rng rng{GetParam()};
+  EnrollmentDb db;
+  std::vector<Template> fingers;
+  for (std::uint16_t id = 1; id <= 8; ++id) {
+    fingers.push_back(random_template(id, 34, rng));
+    ASSERT_TRUE(db.enroll(fingers.back()));
+  }
+  const std::size_t probe_idx = GetParam() % fingers.size();
+  const auto id = db.identify(recapture(fingers[probe_idx], rng));
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(*id, fingers[probe_idx].subject_id);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatcherSweep, ::testing::Values(21, 22, 23, 24, 25, 26));
+
+}  // namespace
+}  // namespace iotsim::codecs::fingerprint

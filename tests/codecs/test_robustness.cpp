@@ -1,0 +1,120 @@
+// Failure-injection / robustness sweeps: decoders must reject — never
+// crash on — corrupted or random input (the hub ingests sensor payloads
+// from the wire).
+#include <gtest/gtest.h>
+
+#include "codecs/coap/coap_codec.h"
+#include "codecs/fingerprint/minutiae.h"
+#include "codecs/jpeg/jpeg_decoder.h"
+#include "codecs/jpeg/jpeg_encoder.h"
+#include "codecs/json/json_parser.h"
+#include "codecs/util/base64.h"
+#include "sim/random.h"
+
+namespace iotsim::codecs {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(sim::Rng& rng, std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  return out;
+}
+
+class RandomBytesSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomBytesSweep, DecodersNeverCrashOnGarbage) {
+  sim::Rng rng{GetParam()};
+  for (int i = 0; i < 50; ++i) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(0, 600));
+    const auto bytes = random_bytes(rng, n);
+    (void)coap::decode(bytes);
+    (void)jpeg::decode(bytes);
+    if (bytes.size() == fingerprint::kTemplateBytes) (void)fingerprint::deserialize(bytes);
+    const std::string text{bytes.begin(), bytes.end()};
+    (void)json::parse(text);
+    (void)util::base64_decode(text);
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomBytesSweep, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(BitFlipSweep, CorruptedJpegRejectedOrDecodedNeverCrashes) {
+  // Flip bytes all over a valid stream; the decoder must either fail
+  // cleanly or produce an image of the declared dimensions.
+  auto img = jpeg::Image::allocate(48, 48);
+  sim::Rng rng{9};
+  for (auto& b : img.rgb) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  const auto valid = jpeg::encode(img, jpeg::EncoderConfig{60});
+
+  for (int trial = 0; trial < 60; ++trial) {
+    auto corrupted = valid;
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform_int(2, static_cast<std::int64_t>(corrupted.size() - 1)));
+    corrupted[pos] ^= static_cast<std::uint8_t>(1 << rng.uniform_int(0, 7));
+    const auto result = jpeg::decode(corrupted);
+    if (result.ok()) {
+      EXPECT_EQ(result.image->width, 48);
+      EXPECT_EQ(result.image->height, 48);
+    } else {
+      EXPECT_FALSE(result.error.empty());
+    }
+  }
+}
+
+TEST(BitFlipSweep, CorruptedCoapRejectedOrDecodedNeverCrashes) {
+  coap::Message msg;
+  msg.message_id = 77;
+  msg.token = {1, 2, 3, 4};
+  msg.add_uri_path("sensors");
+  msg.add_uri_path("light");
+  msg.set_payload_text("{\"v\":1}");
+  const auto valid = coap::encode(msg);
+
+  sim::Rng rng{10};
+  for (int trial = 0; trial < 200; ++trial) {
+    auto corrupted = valid;
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(corrupted.size() - 1)));
+    corrupted[pos] ^= static_cast<std::uint8_t>(1 << rng.uniform_int(0, 7));
+    (void)coap::decode(corrupted);  // must not crash; outcome may vary
+  }
+  SUCCEED();
+}
+
+TEST(TruncationSweep, EveryPrefixHandled) {
+  coap::Message msg;
+  msg.message_id = 3;
+  msg.add_uri_path("a");
+  msg.set_payload_text("xyz");
+  const auto coap_wire = coap::encode(msg);
+  for (std::size_t n = 0; n <= coap_wire.size(); ++n) {
+    (void)coap::decode(std::span{coap_wire}.first(n));
+  }
+
+  auto img = jpeg::Image::allocate(16, 16);
+  const auto jpeg_wire = jpeg::encode(img);
+  for (std::size_t n = 0; n < jpeg_wire.size(); n += 7) {
+    (void)jpeg::decode(std::span{jpeg_wire}.first(n));
+  }
+  SUCCEED();
+}
+
+TEST(JsonFuzz, StructuredGarbageNeverCrashes) {
+  sim::Rng rng{11};
+  const char alphabet[] = "{}[],:\"\\0123456789.eE+-truefalsenull \n\t";
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string s;
+    const auto n = static_cast<std::size_t>(rng.uniform_int(0, 120));
+    for (std::size_t i = 0; i < n; ++i) {
+      s += alphabet[rng.uniform_int(0, sizeof(alphabet) - 2)];
+    }
+    const auto r = json::parse(s);
+    if (!r.ok()) {
+      EXPECT_LE(r.error->offset, s.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace iotsim::codecs

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "codecs/util/base64.h"
+#include "codecs/util/checksum.h"
+#include "sim/random.h"
+
+namespace iotsim::codecs::util {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Base64, Rfc4648Vectors) {
+  EXPECT_EQ(base64_encode(bytes_of("")), "");
+  EXPECT_EQ(base64_encode(bytes_of("f")), "Zg==");
+  EXPECT_EQ(base64_encode(bytes_of("fo")), "Zm8=");
+  EXPECT_EQ(base64_encode(bytes_of("foo")), "Zm9v");
+  EXPECT_EQ(base64_encode(bytes_of("foob")), "Zm9vYg==");
+  EXPECT_EQ(base64_encode(bytes_of("fooba")), "Zm9vYmE=");
+  EXPECT_EQ(base64_encode(bytes_of("foobar")), "Zm9vYmFy");
+}
+
+TEST(Base64, DecodeInvertsEncode) {
+  sim::Rng rng{1};
+  for (std::size_t len : {0u, 1u, 2u, 3u, 17u, 100u, 257u}) {
+    std::vector<std::uint8_t> data(len);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    const auto decoded = base64_decode(base64_encode(data));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, data);
+  }
+}
+
+TEST(Base64, RejectsMalformed) {
+  EXPECT_FALSE(base64_decode("abc").has_value());       // not multiple of 4
+  EXPECT_FALSE(base64_decode("ab!!").has_value());      // bad characters
+  EXPECT_FALSE(base64_decode("=abc").has_value());      // premature padding
+  EXPECT_FALSE(base64_decode("ab=c").has_value());      // data after padding
+}
+
+TEST(Crc32, KnownVector) {
+  // CRC-32("123456789") = 0xCBF43926 (IEEE 802.3 check value).
+  EXPECT_EQ(crc32(bytes_of("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32({}), 0x00000000u);
+}
+
+TEST(Crc32, DetectsBitFlip) {
+  auto data = bytes_of("the quick brown fox");
+  const auto original = crc32(data);
+  data[5] ^= 0x01;
+  EXPECT_NE(crc32(data), original);
+}
+
+TEST(RollingAdler, RollMatchesRecompute) {
+  sim::Rng rng{2};
+  std::vector<std::uint8_t> data(256);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+
+  constexpr std::size_t kWin = 32;
+  RollingAdler32 rolling{kWin};
+  rolling.init(std::span{data}.first(kWin));
+
+  for (std::size_t start = 1; start + kWin <= data.size(); ++start) {
+    rolling.roll(data[start - 1], data[start + kWin - 1]);
+    RollingAdler32 fresh{kWin};
+    fresh.init(std::span{data}.subspan(start, kWin));
+    ASSERT_EQ(rolling.value(), fresh.value()) << "at offset " << start;
+  }
+}
+
+}  // namespace
+}  // namespace iotsim::codecs::util

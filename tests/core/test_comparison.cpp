@@ -1,0 +1,62 @@
+#include "core/comparison.h"
+
+#include <gtest/gtest.h>
+
+namespace iotsim::core {
+namespace {
+
+using apps::AppId;
+
+Scenario base_scenario() {
+  Scenario sc;
+  sc.app_ids = {AppId::kA2StepCounter};
+  sc.windows = 2;
+  return sc;
+}
+
+TEST(SchemeComparison, RunsAllRequestedSchemes) {
+  const auto cmp = compare_schemes(base_scenario(),
+                                   {Scheme::kBaseline, Scheme::kBatching, Scheme::kCom});
+  EXPECT_TRUE(cmp.has(Scheme::kBaseline));
+  EXPECT_TRUE(cmp.has(Scheme::kBatching));
+  EXPECT_TRUE(cmp.has(Scheme::kCom));
+  EXPECT_FALSE(cmp.has(Scheme::kBeam));
+}
+
+TEST(SchemeComparison, ReferenceIsFirstScheme) {
+  const auto cmp = compare_schemes(base_scenario(), {Scheme::kBaseline, Scheme::kCom});
+  EXPECT_DOUBLE_EQ(cmp.savings(Scheme::kBaseline), 0.0);
+  EXPECT_DOUBLE_EQ(cmp.normalized(Scheme::kBaseline), 1.0);
+  EXPECT_GT(cmp.savings(Scheme::kCom), 0.5);
+  EXPECT_LT(cmp.normalized(Scheme::kCom), 0.5);
+}
+
+TEST(SchemeComparison, RoutineSharesSumBelowOne) {
+  const auto cmp = compare_schemes(base_scenario(), {Scheme::kBaseline, Scheme::kBatching});
+  double sum = 0.0;
+  for (auto r : energy::kPaperRoutines) sum += cmp.routine_share(Scheme::kBatching, r);
+  EXPECT_GT(sum, 0.0);
+  EXPECT_LT(sum, cmp.normalized(Scheme::kBatching) + 1e-9);  // idle excluded
+}
+
+TEST(SchemeComparison, SpeedupMatchesManualRatio) {
+  const auto cmp = compare_schemes(base_scenario(), {Scheme::kBaseline, Scheme::kCom});
+  const double manual =
+      cmp.result(Scheme::kBaseline).apps.at(AppId::kA2StepCounter).busy_per_window.total().to_seconds() /
+      cmp.result(Scheme::kCom).apps.at(AppId::kA2StepCounter).busy_per_window.total().to_seconds();
+  EXPECT_DOUBLE_EQ(cmp.speedup(Scheme::kCom, AppId::kA2StepCounter), manual);
+  EXPECT_GT(manual, 1.0);
+}
+
+TEST(SchemeComparison, TableRendersEveryScheme) {
+  const auto cmp = compare_schemes(base_scenario(),
+                                   {Scheme::kBaseline, Scheme::kBatching, Scheme::kCom});
+  const std::string table = cmp.render_table();
+  EXPECT_NE(table.find("Baseline"), std::string::npos);
+  EXPECT_NE(table.find("Batching"), std::string::npos);
+  EXPECT_NE(table.find("COM"), std::string::npos);
+  EXPECT_NE(table.find("met"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iotsim::core

@@ -1,0 +1,67 @@
+#include "core/offload_planner.h"
+
+#include <gtest/gtest.h>
+
+namespace iotsim::core {
+namespace {
+
+using apps::AppId;
+
+TEST(OffloadPlanner, AllLightweightAppsFitIndividually) {
+  OffloadPlanner planner{hw::default_hub_spec()};
+  for (auto id : apps::kLightweightApps) {
+    const auto plan = planner.plan({id});
+    EXPECT_TRUE(plan.offloaded(id)) << apps::code_of(id) << ": "
+                                    << plan.decisions.at(id).reason;
+  }
+}
+
+TEST(OffloadPlanner, A11IsRejected) {
+  OffloadPlanner planner{hw::default_hub_spec()};
+  const auto plan = planner.plan({AppId::kA11SpeechToText});
+  EXPECT_FALSE(plan.offloaded(AppId::kA11SpeechToText));
+  EXPECT_FALSE(plan.decisions.at(AppId::kA11SpeechToText).reason.empty());
+}
+
+TEST(OffloadPlanner, Fig11FourAppComboFits) {
+  // The paper's BCOM offloads A2+A4+A5+A7 together (Fig. 11).
+  OffloadPlanner planner{hw::default_hub_spec()};
+  const auto plan = planner.plan(
+      {AppId::kA2StepCounter, AppId::kA4M2x, AppId::kA5Blynk, AppId::kA7Earthquake});
+  for (auto id : {AppId::kA2StepCounter, AppId::kA4M2x, AppId::kA5Blynk, AppId::kA7Earthquake}) {
+    EXPECT_TRUE(plan.offloaded(id)) << apps::code_of(id) << ": "
+                                    << plan.decisions.at(id).reason;
+  }
+  EXPECT_LE(plan.mcu_ram_used, hw::default_hub_spec().mcu_available_ram());
+}
+
+TEST(OffloadPlanner, SharedSensorBuffersCountedOnce) {
+  OffloadPlanner planner{hw::default_hub_spec()};
+  // A2 and A7 both read the 12 KB/window accelerometer.
+  const auto separate_a2 = planner.plan({AppId::kA2StepCounter});
+  const auto separate_a7 = planner.plan({AppId::kA7Earthquake});
+  const auto joint = planner.plan({AppId::kA2StepCounter, AppId::kA7Earthquake});
+  EXPECT_LT(joint.mcu_ram_used, separate_a2.mcu_ram_used + separate_a7.mcu_ram_used);
+}
+
+TEST(OffloadPlanner, TinyRamRejectsEverything) {
+  hw::HubSpec hub = hw::default_hub_spec();
+  hub.mcu_ram_bytes = hub.mcu_firmware_reserved + 1024;  // 1 KB left
+  OffloadPlanner planner{hub};
+  const auto plan = planner.plan({AppId::kA2StepCounter});
+  EXPECT_FALSE(plan.offloaded(AppId::kA2StepCounter));
+  EXPECT_NE(plan.decisions.at(AppId::kA2StepCounter).reason.find("RAM"), std::string::npos);
+}
+
+TEST(OffloadPlanner, GreedyOrderMatters) {
+  // With a constrained budget, earlier candidates win the RAM.
+  hw::HubSpec hub = hw::default_hub_spec();
+  hub.mcu_ram_bytes = hub.mcu_firmware_reserved + 45 * 1024;
+  OffloadPlanner planner{hub};
+  const auto plan = planner.plan({AppId::kA10Fingerprint, AppId::kA9JpegDecoder});
+  EXPECT_TRUE(plan.offloaded(AppId::kA10Fingerprint));
+  EXPECT_FALSE(plan.offloaded(AppId::kA9JpegDecoder));
+}
+
+}  // namespace
+}  // namespace iotsim::core

@@ -1,0 +1,66 @@
+#include "core/qos.h"
+
+#include <gtest/gtest.h>
+
+namespace iotsim::core {
+namespace {
+
+using apps::AppId;
+using sim::Duration;
+using sim::SimTime;
+
+TEST(QosChecker, OnTimeWindowsPass) {
+  QosChecker qos;
+  const auto start = SimTime::origin();
+  qos.record_window(AppId::kA2StepCounter, start, start + Duration::ms(1002));
+  qos.record_window(AppId::kA2StepCounter, start + Duration::sec(1),
+                    start + Duration::ms(2003));
+  EXPECT_TRUE(qos.all_met());
+  EXPECT_EQ(qos.of(AppId::kA2StepCounter).windows, 2u);
+  EXPECT_EQ(qos.of(AppId::kA2StepCounter).deadline_misses, 0u);
+}
+
+TEST(QosChecker, LateWindowCountsAsMiss) {
+  QosChecker qos;
+  const auto start = SimTime::origin();
+  // Deadline = 2.5 × 1 s window.
+  qos.record_window(AppId::kA2StepCounter, start, start + Duration::ms(2600));
+  EXPECT_FALSE(qos.all_met());
+  EXPECT_EQ(qos.of(AppId::kA2StepCounter).deadline_misses, 1u);
+}
+
+TEST(QosChecker, LatencyStatistics) {
+  QosChecker qos;
+  const auto start = SimTime::origin();
+  qos.record_window(AppId::kA3ArduinoJson, start, start + Duration::ms(1000));
+  qos.record_window(AppId::kA3ArduinoJson, start, start + Duration::ms(2000));
+  const auto& s = qos.of(AppId::kA3ArduinoJson);
+  EXPECT_EQ(s.mean_latency(), Duration::ms(1500));
+  EXPECT_EQ(s.worst_latency, Duration::ms(2000));
+}
+
+TEST(QosChecker, JitterTracksWorstCase) {
+  QosChecker qos;
+  qos.record_sample_jitter(AppId::kA4M2x, Duration::us(120));
+  qos.record_sample_jitter(AppId::kA4M2x, Duration::us(900));
+  qos.record_sample_jitter(AppId::kA4M2x, Duration::us(300));
+  EXPECT_EQ(qos.of(AppId::kA4M2x).worst_sample_jitter, Duration::us(900));
+}
+
+TEST(QosChecker, UnknownAppIsEmpty) {
+  QosChecker qos;
+  EXPECT_EQ(qos.of(AppId::kA9JpegDecoder).windows, 0u);
+  EXPECT_TRUE(qos.all_met());
+}
+
+TEST(QosChecker, SummaryMentionsApps) {
+  QosChecker qos;
+  qos.record_window(AppId::kA2StepCounter, SimTime::origin(),
+                    SimTime::origin() + Duration::sec(1));
+  const std::string s = qos.summary();
+  EXPECT_NE(s.find("A2"), std::string::npos);
+  EXPECT_NE(s.find("windows=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iotsim::core

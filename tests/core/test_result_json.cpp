@@ -1,0 +1,71 @@
+// The JSON export must round-trip through the library's own parser and
+// carry the load-bearing fields.
+#include "core/result_json.h"
+
+#include <gtest/gtest.h>
+
+#include "codecs/json/json_parser.h"
+#include "core/scenario_runner.h"
+
+namespace iotsim::core {
+namespace {
+
+using apps::AppId;
+
+ScenarioResult sample_result() {
+  Scenario sc;
+  sc.app_ids = {AppId::kA2StepCounter, AppId::kA7Earthquake};
+  sc.scheme = Scheme::kBcom;
+  sc.windows = 2;
+  sc.world.quakes = {{0.6, 0.2, 2.0}};
+  return run_scenario(sc);
+}
+
+TEST(ResultJson, ParsesBackWithOwnParser) {
+  const auto r = sample_result();
+  const auto parsed = codecs::json::parse(to_json_text(r));
+  ASSERT_TRUE(parsed.ok()) << parsed.error->message;
+  const auto& doc = *parsed.value;
+  EXPECT_EQ(doc.find("scheme")->as_string(), "BCOM");
+  EXPECT_NEAR(doc.find("total_joules")->as_number(), r.total_joules(),
+              r.total_joules() * 1e-9 + 1e-9);
+  EXPECT_EQ(doc.find("qos_met")->as_bool(), r.qos_met);
+}
+
+TEST(ResultJson, CarriesPerAppRecords) {
+  const auto r = sample_result();
+  const auto parsed = codecs::json::parse(to_json_text(r));
+  ASSERT_TRUE(parsed.ok());
+  const auto* apps_v = parsed.value->find("apps");
+  ASSERT_NE(apps_v, nullptr);
+  const auto* a2 = apps_v->find("A2");
+  ASSERT_NE(a2, nullptr);
+  EXPECT_EQ(a2->find("mode")->as_string(), "offloaded");
+  const auto& records = a2->find("records")->as_array();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_FALSE(records[0].find("summary")->as_string().empty());
+}
+
+TEST(ResultJson, EnergyByRoutineSumsToTotal) {
+  const auto r = sample_result();
+  const auto parsed = codecs::json::parse(to_json_text(r));
+  ASSERT_TRUE(parsed.ok());
+  double sum = 0.0;
+  for (const auto& [name, j] : parsed.value->find("energy_by_routine_j")->as_object()) {
+    sum += j.as_number();
+  }
+  EXPECT_NEAR(sum, parsed.value->find("total_joules")->as_number(), 1e-6);
+}
+
+TEST(ResultJson, OffloadPlanSerialised) {
+  const auto r = sample_result();
+  const auto parsed = codecs::json::parse(to_json_text(r));
+  ASSERT_TRUE(parsed.ok());
+  const auto* plan = parsed.value->find("offload_plan");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_TRUE(plan->find("A2")->find("offload")->as_bool());
+  EXPECT_FALSE(plan->find("A2")->find("reason")->as_string().empty());
+}
+
+}  // namespace
+}  // namespace iotsim::core

@@ -1,0 +1,170 @@
+// Peak detection, Pan–Tompkins QRS and STA/LTA trigger tests on synthetic
+// signals with known ground truth.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "dsp/pan_tompkins.h"
+#include "dsp/peak_detect.h"
+#include "dsp/sta_lta.h"
+#include "sim/random.h"
+
+namespace iotsim::dsp {
+namespace {
+
+TEST(PeakDetect, FindsIsolatedPeaks) {
+  std::vector<double> signal(100, 0.0);
+  signal[20] = 5.0;
+  signal[50] = 4.0;
+  signal[80] = 6.0;
+  PeakDetectorConfig cfg;
+  cfg.min_distance = 5;
+  const auto peaks = detect_peaks(signal, cfg);
+  EXPECT_EQ(peaks, (std::vector<std::size_t>{20, 50, 80}));
+}
+
+TEST(PeakDetect, RefractoryKeepsTallest) {
+  std::vector<double> signal(50, 0.0);
+  signal[10] = 5.0;
+  signal[13] = 8.0;  // taller, within refractory of 10
+  PeakDetectorConfig cfg;
+  cfg.min_distance = 10;
+  cfg.k_stddev = 0.5;
+  const auto peaks = detect_peaks(signal, cfg);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0], 13u);
+}
+
+TEST(PeakDetect, FlatSignalHasNoPeaks) {
+  std::vector<double> signal(64, 1.0);
+  EXPECT_TRUE(detect_peaks(signal, {}).empty());
+}
+
+TEST(PeakDetect, SinusoidPeakCountMatchesCycles) {
+  constexpr std::size_t n = 1000;
+  std::vector<double> signal(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    signal[i] = std::sin(2.0 * std::numbers::pi * 5.0 * static_cast<double>(i) /
+                         static_cast<double>(n));
+  }
+  PeakDetectorConfig cfg;
+  cfg.min_distance = 50;
+  EXPECT_EQ(detect_peaks(signal, cfg).size(), 5u);
+}
+
+/// Synthetic ECG: gaussian R spikes on a noisy baseline.
+std::vector<double> synthetic_ecg(double fs, double bpm, double seconds, double jitter,
+                                  std::uint64_t seed) {
+  sim::Rng rng{seed};
+  const auto n = static_cast<std::size_t>(fs * seconds);
+  std::vector<double> ecg(n, 0.0);
+  const double period = 60.0 / bpm;
+  double t_beat = 0.3;
+  std::vector<double> beat_times;
+  while (t_beat < seconds - 0.2) {
+    beat_times.push_back(t_beat);
+    t_beat += period * (1.0 + jitter * rng.uniform(-1.0, 1.0));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / fs;
+    for (double tb : beat_times) {
+      const double dt = t - tb;
+      ecg[i] += 1.2 * std::exp(-dt * dt / (2 * 0.008 * 0.008));   // R wave
+      ecg[i] += 0.15 * std::exp(-(dt - 0.15) * (dt - 0.15) / (2 * 0.04 * 0.04));  // T wave
+    }
+    ecg[i] += 0.02 * rng.normal();
+  }
+  return ecg;
+}
+
+TEST(PanTompkins, DetectsRegularHeartRate) {
+  const auto ecg = synthetic_ecg(500.0, 72.0, 10.0, 0.0, 11);
+  PanTompkinsConfig cfg;
+  cfg.sample_rate_hz = 500.0;
+  const QrsResult r = detect_qrs(ecg, cfg);
+  EXPECT_NEAR(r.mean_bpm, 72.0, 4.0);
+  EXPECT_FALSE(r.irregular);
+  // ~12 beats in 10 s at 72 bpm.
+  EXPECT_NEAR(static_cast<double>(r.r_peaks.size()), 12.0, 2.0);
+}
+
+TEST(PanTompkins, FlagsIrregularRhythm) {
+  const auto ecg = synthetic_ecg(500.0, 80.0, 10.0, 0.35, 13);
+  PanTompkinsConfig cfg;
+  cfg.sample_rate_hz = 500.0;
+  const QrsResult r = detect_qrs(ecg, cfg);
+  EXPECT_TRUE(r.irregular);
+  EXPECT_GT(r.rmssd, 0.0);
+}
+
+TEST(PanTompkins, ShortSignalIsEmptyResult) {
+  const std::vector<double> tiny(8, 0.0);
+  const QrsResult r = detect_qrs(tiny, {});
+  EXPECT_TRUE(r.r_peaks.empty());
+  EXPECT_DOUBLE_EQ(r.mean_bpm, 0.0);
+}
+
+// Parameterised heart-rate sweep.
+class PanTompkinsSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PanTompkinsSweep, RecoversRateWithin10Percent) {
+  const double bpm = GetParam();
+  const auto ecg = synthetic_ecg(500.0, bpm, 15.0, 0.02, static_cast<std::uint64_t>(bpm));
+  PanTompkinsConfig cfg;
+  cfg.sample_rate_hz = 500.0;
+  const QrsResult r = detect_qrs(ecg, cfg);
+  EXPECT_NEAR(r.mean_bpm, bpm, bpm * 0.10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, PanTompkinsSweep, ::testing::Values(50.0, 60.0, 75.0, 90.0, 120.0));
+
+TEST(StaLta, QuietSignalNeverTriggers) {
+  sim::Rng rng{17};
+  std::vector<double> signal(5000);
+  for (auto& x : signal) x = 0.01 * rng.normal();
+  EXPECT_TRUE(sta_lta_events(signal, {}).empty());
+}
+
+TEST(StaLta, DetectsTransientOnset) {
+  sim::Rng rng{19};
+  std::vector<double> signal(8000);
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    signal[i] = 0.01 * rng.normal();
+    if (i >= 4000 && i < 4400) signal[i] += 0.8 * rng.normal();  // quake burst
+  }
+  const auto events = sta_lta_events(signal, {});
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_NEAR(static_cast<double>(events[0].onset), 4000.0, 150.0);
+  EXPECT_GT(events[0].peak_ratio, 4.0);
+}
+
+TEST(StaLta, RatioNearOneForStationaryNoise) {
+  sim::Rng rng{23};
+  std::vector<double> signal(4000);
+  for (auto& x : signal) x = rng.normal();
+  const auto ratio = sta_lta_ratio(signal, {});
+  // After warm-up, the ratio hovers near 1.
+  double mean = 0.0;
+  for (std::size_t i = 1000; i < ratio.size(); ++i) mean += ratio[i];
+  mean /= static_cast<double>(ratio.size() - 1000);
+  EXPECT_NEAR(mean, 1.0, 0.2);
+}
+
+TEST(StaLta, EventStillOpenAtEndIsReported) {
+  sim::Rng rng{29};
+  std::vector<double> signal(3000);
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    signal[i] = 0.01 * rng.normal();
+    // Burst starts near the end so the LTA cannot catch up and de-trigger
+    // before the signal runs out.
+    if (i >= 2900) signal[i] += 1.0 * rng.normal();
+  }
+  const auto events = sta_lta_events(signal, {});
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].offset, signal.size() - 1);
+}
+
+}  // namespace
+}  // namespace iotsim::dsp

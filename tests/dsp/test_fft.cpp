@@ -1,0 +1,123 @@
+#include "dsp/fft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "sim/random.h"
+
+namespace iotsim::dsp {
+namespace {
+
+TEST(Fft, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(48));
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(100), 128u);
+  EXPECT_EQ(next_pow2(128), 128u);
+}
+
+TEST(Fft, DeltaFunctionHasFlatSpectrum) {
+  std::vector<std::complex<double>> data(16, {0.0, 0.0});
+  data[0] = {1.0, 0.0};
+  fft(data);
+  for (const auto& x : data) {
+    EXPECT_NEAR(x.real(), 1.0, 1e-12);
+    EXPECT_NEAR(x.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, PureToneLandsInOneBin) {
+  constexpr std::size_t n = 256;
+  constexpr std::size_t bin = 17;
+  std::vector<double> signal(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    signal[i] = std::sin(2.0 * std::numbers::pi * static_cast<double>(bin) *
+                         static_cast<double>(i) / static_cast<double>(n));
+  }
+  const auto power = power_spectrum(signal);
+  std::size_t argmax = 0;
+  for (std::size_t i = 1; i < power.size(); ++i) {
+    if (power[i] > power[argmax]) argmax = i;
+  }
+  EXPECT_EQ(argmax, bin);
+}
+
+TEST(Fft, RoundTripRecoversSignal) {
+  sim::Rng rng{42};
+  std::vector<std::complex<double>> data(128);
+  std::vector<std::complex<double>> original(128);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    original[i] = data[i];
+  }
+  fft(data);
+  ifft(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-10);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft, ParsevalEnergyConservation) {
+  sim::Rng rng{7};
+  constexpr std::size_t n = 64;
+  std::vector<std::complex<double>> data(n);
+  double time_energy = 0.0;
+  for (auto& x : data) {
+    x = {rng.normal(), rng.normal()};
+    time_energy += std::norm(x);
+  }
+  fft(data);
+  double freq_energy = 0.0;
+  for (const auto& x : data) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy, 1e-9);
+}
+
+TEST(Fft, LinearityHolds) {
+  constexpr std::size_t n = 32;
+  sim::Rng rng{3};
+  std::vector<std::complex<double>> a(n), b(n), sum(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = {rng.uniform(), 0.0};
+    b[i] = {rng.uniform(), 0.0};
+    sum[i] = a[i] + b[i];
+  }
+  fft(a);
+  fft(b);
+  fft(sum);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(sum[i] - (a[i] + b[i])), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft, HannWindowShape) {
+  const auto w = hann_window(64);
+  EXPECT_NEAR(w.front(), 0.0, 1e-12);
+  EXPECT_NEAR(w.back(), 0.0, 1e-12);
+  EXPECT_NEAR(w[31], 1.0, 0.01);  // near the middle
+}
+
+// Property sweep: round-trip at multiple sizes.
+class FftRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftRoundTrip, RoundTripAtSize) {
+  const std::size_t n = GetParam();
+  sim::Rng rng{n};
+  std::vector<std::complex<double>> data(n), orig(n);
+  for (std::size_t i = 0; i < n; ++i) orig[i] = data[i] = {rng.normal(), rng.normal()};
+  fft(data);
+  ifft(data);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < n; ++i) max_err = std::max(max_err, std::abs(data[i] - orig[i]));
+  EXPECT_LT(max_err, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftRoundTrip,
+                         ::testing::Values(1, 2, 4, 8, 16, 64, 256, 1024, 4096));
+
+}  // namespace
+}  // namespace iotsim::dsp

@@ -1,0 +1,55 @@
+#include "energy/battery.h"
+
+#include <gtest/gtest.h>
+
+namespace iotsim::energy {
+namespace {
+
+TEST(Battery, CapacityConversions) {
+  Battery b{5.0, 1.0};  // 5 Wh fully usable
+  EXPECT_DOUBLE_EQ(b.capacity_joules(), 18000.0);
+  EXPECT_DOUBLE_EQ(b.usable_joules(), 18000.0);
+}
+
+TEST(Battery, UsableFractionLimitsDepth) {
+  Battery b{10.0, 0.8};
+  EXPECT_DOUBLE_EQ(b.usable_joules(), 10.0 * 3600.0 * 0.8);
+}
+
+TEST(Battery, DrainAndStateOfCharge) {
+  Battery b{1.0, 1.0};  // 3600 J
+  EXPECT_DOUBLE_EQ(b.state_of_charge(), 1.0);
+  EXPECT_TRUE(b.drain(1800.0));
+  EXPECT_DOUBLE_EQ(b.state_of_charge(), 0.5);
+  EXPECT_FALSE(b.drain(1800.0));
+  EXPECT_TRUE(b.depleted());
+  EXPECT_DOUBLE_EQ(b.state_of_charge(), 0.0);
+}
+
+TEST(Battery, ChargeFloorsAtZero) {
+  Battery b{1.0, 1.0};
+  (void)b.drain(10000.0);
+  EXPECT_DOUBLE_EQ(b.state_of_charge(), 0.0);
+  b.recharge();
+  EXPECT_DOUBLE_EQ(b.state_of_charge(), 1.0);
+}
+
+TEST(Battery, LifetimeAtConstantDraw) {
+  Battery b{5.0, 0.9};  // 16200 J usable
+  EXPECT_NEAR(b.lifetime(2.0).to_seconds(), 8100.0, 1e-9);
+  (void)b.drain(8100.0 * 2.0 / 2.0);  // drain half... 8100 J
+  EXPECT_NEAR(b.remaining_lifetime(2.0).to_seconds(), 4050.0, 1e-9);
+}
+
+TEST(Battery, SavingsTranslateToLifetimeMultiplier) {
+  // The paper's headline made concrete: a 85% saving is ~6.7× battery life.
+  Battery b{5.0};
+  const double base_w = 3.0;
+  const double com_w = base_w * (1.0 - 0.85);
+  const double multiplier =
+      b.lifetime(com_w).to_seconds() / b.lifetime(base_w).to_seconds();
+  EXPECT_NEAR(multiplier, 1.0 / 0.15, 1e-9);
+}
+
+}  // namespace
+}  // namespace iotsim::energy

@@ -1,0 +1,60 @@
+#include "energy/power_model.h"
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_report.h"
+#include "hw/boards.h"
+
+namespace iotsim::energy {
+namespace {
+
+TEST(PowerModel, PaperBreakevenIs1_14ms) {
+  // §III-A: 2.5 W × 1.6 ms = 4 mJ; 4 mJ / (5 W − 1.5 W) = 1.14 ms.
+  const CpuPowerSpec spec = paper_reference_cpu();
+  EXPECT_NEAR(spec.light_sleep_breakeven().to_ms(), 1.1428, 1e-3);
+}
+
+TEST(PowerModel, BreakevenShrinksWithCheaperTransition) {
+  CpuPowerSpec spec = paper_reference_cpu();
+  const auto base = spec.light_sleep_breakeven();
+  spec.transition_w /= 2.0;
+  EXPECT_LT(spec.light_sleep_breakeven(), base);
+}
+
+TEST(PowerModel, BreakevenGrowsWhenSleepSavesLess) {
+  CpuPowerSpec spec = paper_reference_cpu();
+  const auto base = spec.light_sleep_breakeven();
+  spec.light_sleep_w = 4.0;  // sleep barely cheaper than active
+  EXPECT_GT(spec.light_sleep_breakeven(), base);
+}
+
+TEST(PowerModel, DefaultHubSpecIsSane) {
+  const hw::HubSpec spec = hw::default_hub_spec();
+  EXPECT_GT(spec.cpu.active_w, spec.cpu.light_sleep_w);
+  EXPECT_GT(spec.cpu.light_sleep_w, spec.cpu.deep_sleep_w);
+  EXPECT_GT(spec.mcu.active_w, spec.mcu.sleep_w);
+  EXPECT_LT(spec.cpu.light_wake_latency, spec.cpu.deep_wake_latency);
+  // MCU board must have room for at least a 12 KB batch (step counter).
+  EXPECT_GE(spec.mcu_available_ram(), 12u * 1024u);
+  // The MCU radio is slower but cheaper than the main one.
+  EXPECT_LT(spec.mcu_nic.bytes_per_second, spec.main_nic.bytes_per_second);
+  EXPECT_LT(spec.mcu_nic.tx_w, spec.main_nic.tx_w);
+}
+
+TEST(PowerModel, TransferTimeMatchesPaperAnchors) {
+  const hw::HubSpec spec = hw::default_hub_spec();
+  // Fig. 5a: one 12-byte accelerometer sample moves in ≈0.19 ms.
+  EXPECT_NEAR(spec.transfer_time(12).to_ms(), 0.19, 0.03);
+  // §III-A: 1000 batched samples (12 KB) move in ≈100 ms.
+  EXPECT_NEAR(spec.transfer_time(12000).to_ms(), 100.0, 5.0);
+}
+
+TEST(PowerModel, McuSleepBreakevenBelowSamplingGap) {
+  // The MCU must be able to nap between 1 kHz samples (0.9 ms gaps), or the
+  // DataCollection share of Fig. 10 would balloon.
+  const hw::HubSpec spec = hw::default_hub_spec();
+  EXPECT_LT(spec.mcu.sleep_breakeven(), sim::Duration::from_ms(0.9));
+}
+
+}  // namespace
+}  // namespace iotsim::energy

@@ -1,0 +1,74 @@
+#include "hw/bus.h"
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_accountant.h"
+#include "sim/simulator.h"
+
+namespace iotsim::hw {
+namespace {
+
+using energy::EnergyAccountant;
+using energy::Routine;
+using sim::Duration;
+using sim::Task;
+
+TEST(Bus, OccupyChargesActivePower) {
+  sim::Simulator sim;
+  EnergyAccountant acct;
+  Bus bus{sim, acct, "i2c", energy::BusPowerSpec{0.4, 0.0}};
+  auto p = [&]() -> Task<void> {
+    co_await bus.occupy(Duration::ms(250), Routine::kDataCollection);
+  };
+  sim.spawn(p());
+  sim.run();
+  bus.power().flush();
+  EXPECT_NEAR(acct.joules(0, Routine::kDataCollection), 0.4 * 0.25, 1e-12);
+  EXPECT_FALSE(bus.busy());
+}
+
+TEST(Bus, ConcurrentOccupationsSerialize) {
+  sim::Simulator sim;
+  EnergyAccountant acct;
+  Bus bus{sim, acct, "spi", energy::BusPowerSpec{0.2, 0.0}};
+  double done1 = 0.0, done2 = 0.0;
+  auto p = [&](double& out) -> Task<void> {
+    co_await bus.occupy(Duration::ms(10), Routine::kDataTransfer);
+    out = sim.now().to_ms();
+  };
+  sim.spawn(p(done1));
+  sim.spawn(p(done2));
+  sim.run();
+  EXPECT_DOUBLE_EQ(done1, 10.0);
+  EXPECT_DOUBLE_EQ(done2, 20.0);
+}
+
+TEST(Bus, IdleDrawsIdlePower) {
+  sim::Simulator sim;
+  EnergyAccountant acct;
+  Bus bus{sim, acct, "uart", energy::BusPowerSpec{0.5, 0.05}};
+  auto p = [&]() -> Task<void> { co_await sim::Delay{Duration::sec(1)}; };
+  sim.spawn(p());
+  sim.run();
+  bus.power().flush();
+  EXPECT_NEAR(acct.joules(0, Routine::kIdle), 0.05, 1e-12);
+}
+
+TEST(Bus, BusyFlagVisibleDuringOccupation) {
+  sim::Simulator sim;
+  EnergyAccountant acct;
+  Bus bus{sim, acct, "b", energy::BusPowerSpec{0.2, 0.0}};
+  bool observed_busy = false;
+  auto holder = [&]() -> Task<void> { co_await bus.occupy(Duration::ms(10), Routine::kIdle); };
+  auto observer = [&]() -> Task<void> {
+    co_await sim::Delay{Duration::ms(5)};
+    observed_busy = bus.busy();
+  };
+  sim.spawn(holder());
+  sim.spawn(observer());
+  sim.run();
+  EXPECT_TRUE(observed_busy);
+}
+
+}  // namespace
+}  // namespace iotsim::hw

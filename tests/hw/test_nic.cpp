@@ -1,0 +1,93 @@
+#include "hw/nic.h"
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_accountant.h"
+#include "sim/simulator.h"
+
+namespace iotsim::hw {
+namespace {
+
+using energy::EnergyAccountant;
+using energy::NicPowerSpec;
+using energy::Routine;
+using sim::Duration;
+using sim::Task;
+
+NicPowerSpec test_spec() {
+  NicPowerSpec spec;
+  spec.tx_w = 1.0;
+  spec.rx_w = 0.5;
+  spec.idle_w = 0.0;
+  spec.bytes_per_second = 1.0e6;
+  spec.tail = Duration::from_ms(100.0);
+  return spec;
+}
+
+TEST(Nic, WireTimeFromRate) {
+  sim::Simulator sim;
+  EnergyAccountant acct;
+  Nic nic{sim, acct, "wifi", test_spec()};
+  EXPECT_EQ(nic.wire_time(1'000'000), Duration::sec(1));
+  EXPECT_EQ(nic.wire_time(10'000), Duration::ms(10));
+}
+
+TEST(Nic, TransmitChargesTxPlusTail) {
+  sim::Simulator sim;
+  EnergyAccountant acct;
+  Nic nic{sim, acct, "wifi", test_spec()};
+  auto p = [&]() -> Task<void> { co_await nic.transmit(100'000); };  // 100 ms wire
+  sim.spawn(p());
+  sim.run();
+  nic.power().flush();
+  // 100 ms tx at 1 W + 100 ms tail at rx_w 0.5 W.
+  EXPECT_NEAR(acct.joules(0, Routine::kNetwork), 0.1 + 0.05, 1e-9);
+  EXPECT_EQ(nic.bytes_sent(), 100'000u);
+}
+
+TEST(Nic, BackToBackBurstsCoalesceTail) {
+  sim::Simulator sim;
+  EnergyAccountant acct;
+  Nic nic{sim, acct, "wifi", test_spec()};
+  auto p = [&]() -> Task<void> {
+    co_await nic.transmit(50'000);                // 50 ms
+    co_await sim::Delay{Duration::ms(20)};        // inside the tail window
+    co_await nic.transmit(50'000);                // 50 ms
+    co_await sim::Delay{Duration::ms(200)};       // let the final tail expire
+  };
+  sim.spawn(p());
+  sim.run();
+  nic.power().flush();
+  // tx: 100 ms at 1 W; tails: 20 ms (cut short) + 100 ms at 0.5 W.
+  EXPECT_NEAR(acct.joules(0, Routine::kNetwork), 0.1 + 0.5 * 0.120, 1e-9);
+}
+
+TEST(Nic, ReceiveUsesRxPower) {
+  sim::Simulator sim;
+  EnergyAccountant acct;
+  Nic nic{sim, acct, "wifi", test_spec()};
+  auto p = [&]() -> Task<void> { co_await nic.receive(200'000); };  // 200 ms
+  sim.spawn(p());
+  sim.run();
+  nic.power().flush();
+  EXPECT_NEAR(acct.joules(0, Routine::kNetwork), 0.5 * 0.2 + 0.5 * 0.1, 1e-9);
+  EXPECT_EQ(nic.bytes_received(), 200'000u);
+}
+
+TEST(Nic, IdleAfterTailExpires) {
+  sim::Simulator sim;
+  EnergyAccountant acct;
+  Nic nic{sim, acct, "wifi", test_spec()};
+  auto p = [&]() -> Task<void> {
+    co_await nic.transmit(1'000);
+    co_await sim::Delay{Duration::sec(1)};
+  };
+  sim.spawn(p());
+  sim.run();
+  nic.power().flush();
+  // Energy bounded: 1 ms tx + 100 ms tail only; the remaining ~0.9 s idle at 0 W.
+  EXPECT_NEAR(acct.joules(0, Routine::kNetwork), 0.001 * 1.0 + 0.1 * 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace iotsim::hw

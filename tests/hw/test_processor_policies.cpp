@@ -1,0 +1,136 @@
+// Deeper Processor-policy tests: policy_for_gap, IdleConstraint semantics,
+// the busy/wait power split, and the hub's DMA transfer path.
+#include <gtest/gtest.h>
+
+#include "energy/energy_accountant.h"
+#include "hw/iot_hub.h"
+#include "hw/processor.h"
+#include "sim/simulator.h"
+
+namespace iotsim::hw {
+namespace {
+
+using energy::EnergyAccountant;
+using energy::Routine;
+using sim::Duration;
+using sim::Task;
+
+ProcessorSpec split_spec() {
+  ProcessorSpec spec;
+  spec.active_w = 2.0;  // stalled
+  spec.busy_w = 3.0;    // executing
+  spec.nominal_mips = 1000.0;
+  spec.sleep_modes = {
+      SleepMode{0.5, Duration::from_ms(1.0), 1.0},
+      SleepMode{0.1, Duration::from_ms(10.0), 1.0},
+  };
+  return spec;
+}
+
+TEST(PolicyForGap, ChoosesDeepestAffordableMode) {
+  sim::Simulator sim;
+  EnergyAccountant acct;
+  Processor p{sim, acct, "cpu", split_spec()};
+  // Break-evens: light = 1·1ms/(2−0.5) = 0.667 ms; deep = 1·10ms/1.9 = 5.26 ms.
+  EXPECT_EQ(p.policy_for_gap(Duration::from_ms(0.5)), SleepPolicy::kBusyWait);
+  EXPECT_EQ(p.policy_for_gap(Duration::from_ms(1.0)), SleepPolicy::kLightSleep);
+  EXPECT_EQ(p.policy_for_gap(Duration::from_ms(5.0)), SleepPolicy::kLightSleep);
+  EXPECT_EQ(p.policy_for_gap(Duration::from_ms(6.0)), SleepPolicy::kDeepSleep);
+  // Cap honoured.
+  EXPECT_EQ(p.policy_for_gap(Duration::sec(10), SleepPolicy::kLightSleep),
+            SleepPolicy::kLightSleep);
+  EXPECT_EQ(p.policy_for_gap(Duration::sec(10), SleepPolicy::kBusyWait),
+            SleepPolicy::kBusyWait);
+}
+
+TEST(IdleConstraint, PinsProcessorWhileAlive) {
+  sim::Simulator sim;
+  EnergyAccountant acct;
+  Processor p{sim, acct, "cpu", split_spec()};
+  auto proc = [&]() -> Task<void> {
+    {
+      auto pin = p.constrain_idle(SleepPolicy::kBusyWait, Routine::kDataTransfer);
+      co_await sim::Delay{Duration::ms(100)};  // pinned: active wait, 2 W
+      pin.release();
+    }
+    co_await sim::Delay{Duration::ms(100)};  // unpinned: deepest sleep, 0.1 W
+  };
+  sim.spawn(proc());
+  sim.run();
+  p.power().flush();
+  EXPECT_NEAR(acct.joules(0, Routine::kDataTransfer), 2.0 * 0.1, 1e-9);
+  EXPECT_NEAR(acct.joules(0, Routine::kIdle), 0.1 * 0.1, 1e-9);
+}
+
+TEST(IdleConstraint, ReleaseIsIdempotentAndMoveSafe) {
+  sim::Simulator sim;
+  EnergyAccountant acct;
+  Processor p{sim, acct, "cpu", split_spec()};
+  auto proc = [&]() -> Task<void> {
+    auto pin = p.constrain_idle(SleepPolicy::kLightSleep, Routine::kComputation);
+    auto moved = std::move(pin);
+    moved.release();
+    moved.release();  // no double-erase
+    co_await sim::Delay{Duration::ms(10)};
+  };
+  sim.spawn(proc());
+  sim.run();
+  SUCCEED();
+}
+
+TEST(BusyWaitSplit, ExecutionDrawsMoreThanStall) {
+  sim::Simulator sim;
+  EnergyAccountant acct;
+  Processor p{sim, acct, "cpu", split_spec()};
+  auto proc = [&]() -> Task<void> {
+    co_await p.execute(Duration::ms(100), Routine::kComputation);
+    co_await p.wait(Duration::ms(100), SleepPolicy::kBusyWait, Routine::kDataTransfer);
+  };
+  sim.spawn(proc());
+  sim.run();
+  p.power().flush();
+  // Execute at busy_w = 3 W (plus the initial deep wake at 1 W for 10 ms);
+  // stall at active_w = 2 W.
+  EXPECT_NEAR(acct.joules(0, Routine::kComputation), 3.0 * 0.1 + 1.0 * 0.01, 1e-9);
+  EXPECT_NEAR(acct.joules(0, Routine::kDataTransfer), 2.0 * 0.1, 1e-9);
+}
+
+TEST(DmaTransfer, CpuSleepsDuringWireTime) {
+  sim::Simulator sim;
+  EnergyAccountant acct;
+  HubSpec spec = default_hub_spec();
+  spec.dma_enabled = true;
+  IotHub hub{sim, acct, spec};
+  auto proc = [&]() -> Task<void> {
+    // Big transfer: 12 KB ≈ 100 ms of wire time.
+    co_await hub.transfer_to_cpu(12000, Routine::kDataTransfer);
+  };
+  sim.spawn(proc());
+  sim.run();
+  hub.flush_power();
+  // CPU busy only for the DMA setup, not the wire time.
+  EXPECT_LT(acct.busy_time(0, Routine::kDataTransfer), sim::Duration::from_ms(1.0));
+  // The MCU was never involved.
+  EXPECT_NEAR(acct.joules(1, Routine::kDataTransfer), 0.0, 1e-12);
+}
+
+TEST(DmaTransfer, CheaperThanPioForBulk) {
+  auto run_once = [](bool dma) {
+    sim::Simulator sim;
+    EnergyAccountant acct;
+    HubSpec spec = default_hub_spec();
+    spec.dma_enabled = dma;
+    IotHub hub{sim, acct, spec};
+    auto proc = [&]() -> Task<void> {
+      co_await hub.transfer_to_cpu(24000, Routine::kDataTransfer);
+    };
+    sim.spawn(proc());
+    sim.run();
+    hub.flush_power();
+    return acct.total_joules();
+  };
+  EXPECT_LT(run_once(true), run_once(false) * 0.7);
+}
+
+}  // namespace
+}  // namespace iotsim::hw

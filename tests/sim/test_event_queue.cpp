@@ -1,0 +1,93 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace iotsim::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(SimTime::from_ns(30), [&] { order.push_back(3); });
+  q.schedule(SimTime::from_ns(10), [&] { order.push_back(1); });
+  q.schedule(SimTime::from_ns(20), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoTieBreakAtEqualTime) {
+  EventQueue q;
+  std::vector<int> order;
+  const auto t = SimTime::from_ns(5);
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(t, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().callback();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelDropsEvent) {
+  EventQueue q;
+  int fired = 0;
+  const EventId id = q.schedule(SimTime::from_ns(1), [&] { ++fired; });
+  q.schedule(SimTime::from_ns(2), [&] { ++fired; });
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelUnknownIdIsNoop) {
+  EventQueue q;
+  q.schedule(SimTime::from_ns(1), [] {});
+  q.cancel(9999);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, CancelFiredIdIsNoop) {
+  EventQueue q;
+  const EventId id = q.schedule(SimTime::from_ns(1), [] {});
+  q.pop().callback();
+  q.cancel(id);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId early = q.schedule(SimTime::from_ns(1), [] {});
+  q.schedule(SimTime::from_ns(7), [] {});
+  q.cancel(early);
+  EXPECT_EQ(q.next_time(), SimTime::from_ns(7));
+}
+
+TEST(EventQueue, NextTimeOnEmptyIsInfinite) {
+  EventQueue q;
+  EXPECT_EQ(q.next_time(), SimTime::infinite());
+}
+
+TEST(EventQueue, ClearEmptiesQueue) {
+  EventQueue q;
+  q.schedule(SimTime::from_ns(1), [] {});
+  q.schedule(SimTime::from_ns(2), [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, ManyEventsStressOrder) {
+  EventQueue q;
+  std::vector<std::int64_t> popped;
+  // Insert with a scrambled but deterministic pattern of times.
+  for (std::int64_t i = 0; i < 2000; ++i) {
+    const std::int64_t t = (i * 7919) % 1009;
+    q.schedule(SimTime::from_ns(t), [&popped, t] { popped.push_back(t); });
+  }
+  while (!q.empty()) q.pop().callback();
+  ASSERT_EQ(popped.size(), 2000u);
+  for (std::size_t i = 1; i < popped.size(); ++i) EXPECT_LE(popped[i - 1], popped[i]);
+}
+
+}  // namespace
+}  // namespace iotsim::sim

@@ -1,0 +1,84 @@
+#include "sim/join.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace iotsim::sim {
+namespace {
+
+TEST(WhenAll, CompletesAtSlowestTask) {
+  Simulator sim;
+  auto worker = [](Duration d) -> Task<void> { co_await Delay{d}; };
+  SimTime end;
+  auto top = [&]() -> Task<void> {
+    std::vector<Task<void>> tasks;
+    tasks.push_back(worker(Duration::ms(5)));
+    tasks.push_back(worker(Duration::ms(20)));
+    tasks.push_back(worker(Duration::ms(10)));
+    co_await when_all(sim, std::move(tasks));
+    end = sim.now();
+  };
+  sim.spawn(top());
+  sim.run();
+  EXPECT_EQ(end, SimTime::origin() + Duration::ms(20));
+}
+
+TEST(WhenAll, TasksRunConcurrentlyNotSequentially) {
+  Simulator sim;
+  auto worker = [](Duration d) -> Task<void> { co_await Delay{d}; };
+  SimTime end;
+  auto top = [&]() -> Task<void> {
+    co_await when_all(sim, worker(Duration::ms(10)), worker(Duration::ms(10)));
+    end = sim.now();
+  };
+  sim.spawn(top());
+  sim.run();
+  EXPECT_EQ(end, SimTime::origin() + Duration::ms(10));  // not 20
+}
+
+TEST(WhenAll, EmptyVectorCompletesImmediately) {
+  Simulator sim;
+  bool done = false;
+  auto top = [&]() -> Task<void> {
+    co_await when_all(sim, {});
+    done = true;
+  };
+  sim.spawn(top());
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(sim.now(), SimTime::origin());
+}
+
+TEST(JoinCounter, WaitAfterAllArrivedReturnsImmediately) {
+  Simulator sim;
+  bool done = false;
+  auto top = [&]() -> Task<void> {
+    JoinCounter c{1};
+    c.arrive();
+    co_await c.wait();
+    done = true;
+  };
+  sim.spawn(top());
+  sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(WhenAll, NestedWhenAllComposes) {
+  Simulator sim;
+  auto worker = [](Duration d) -> Task<void> { co_await Delay{d}; };
+  SimTime end;
+  auto top = [&]() -> Task<void> {
+    co_await when_all(sim, worker(Duration::ms(4)),
+                      when_all(sim, worker(Duration::ms(7)), worker(Duration::ms(2))));
+    end = sim.now();
+  };
+  sim.spawn(top());
+  sim.run();
+  EXPECT_EQ(end, SimTime::origin() + Duration::ms(7));
+}
+
+}  // namespace
+}  // namespace iotsim::sim

@@ -1,0 +1,24 @@
+// The umbrella header must compile standalone and expose the public API.
+#include "iotsim.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, EndToEndThroughSingleInclude) {
+  iotsim::core::Scenario sc;
+  sc.app_ids = {iotsim::apps::AppId::kA3ArduinoJson};
+  sc.scheme = iotsim::core::Scheme::kBatching;
+  sc.windows = 1;
+  const auto result = iotsim::core::run_scenario(sc);
+  EXPECT_GT(result.total_joules(), 0.0);
+  EXPECT_TRUE(result.qos_met);
+
+  iotsim::energy::Battery pack{2.0};
+  EXPECT_GT(pack.lifetime(result.energy).to_seconds(), 0.0);
+
+  const auto doc = iotsim::codecs::json::parse(iotsim::core::to_json_text(result));
+  EXPECT_TRUE(doc.ok());
+}
+
+}  // namespace

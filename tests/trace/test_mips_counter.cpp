@@ -1,0 +1,45 @@
+#include "trace/mips_counter.h"
+
+#include <gtest/gtest.h>
+
+namespace iotsim::trace {
+namespace {
+
+TEST(MipsCounter, AccumulatesPerOwner) {
+  MipsCounter c;
+  c.add("step_counter", 1'000'000);
+  c.add("step_counter", 2'000'000);
+  c.add("jpeg", 5'000'000);
+  EXPECT_EQ(c.instructions("step_counter"), 3'000'000u);
+  EXPECT_EQ(c.instructions("jpeg"), 5'000'000u);
+  EXPECT_EQ(c.total_instructions(), 8'000'000u);
+}
+
+TEST(MipsCounter, MipsIsRatePerWindow) {
+  MipsCounter c;
+  c.add("app", 47'450'000);  // Fig. 6 average: 47.45 MIPS over a 1 s window
+  EXPECT_NEAR(c.mips("app", sim::Duration::sec(1)), 47.45, 1e-9);
+  EXPECT_NEAR(c.mips("app", sim::Duration::ms(500)), 94.9, 1e-9);
+}
+
+TEST(MipsCounter, UnknownOwnerIsZero) {
+  MipsCounter c;
+  EXPECT_EQ(c.instructions("nope"), 0u);
+  EXPECT_DOUBLE_EQ(c.mips("nope", sim::Duration::sec(1)), 0.0);
+}
+
+TEST(MipsCounter, ZeroWindowGivesZero) {
+  MipsCounter c;
+  c.add("app", 1000);
+  EXPECT_DOUBLE_EQ(c.mips("app", sim::Duration::zero()), 0.0);
+}
+
+TEST(MipsCounter, ResetClears) {
+  MipsCounter c;
+  c.add("app", 1000);
+  c.reset();
+  EXPECT_EQ(c.total_instructions(), 0u);
+}
+
+}  // namespace
+}  // namespace iotsim::trace

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/ascii_chart.h"
+#include "trace/csv_writer.h"
+#include "trace/table_printer.h"
+
+namespace iotsim::trace {
+namespace {
+
+TEST(BarChart, RendersAllLabelsAndScales) {
+  BarChart chart{"mJ"};
+  chart.add("Baseline", 100.0);
+  chart.add("Batching", 48.0);
+  chart.add("COM", 15.0);
+  const std::string out = chart.render(50);
+  EXPECT_NE(out.find("Baseline"), std::string::npos);
+  EXPECT_NE(out.find("Batching"), std::string::npos);
+  EXPECT_NE(out.find("COM"), std::string::npos);
+  EXPECT_NE(out.find("mJ"), std::string::npos);
+  // The largest bar reaches full width.
+  EXPECT_NE(out.find(std::string(50, '#')), std::string::npos);
+}
+
+TEST(BarChart, ZeroValuesRenderEmptyBars) {
+  BarChart chart;
+  chart.add("a", 0.0);
+  chart.add("b", 0.0);
+  EXPECT_FALSE(chart.render(10).empty());
+}
+
+TEST(StackedBarChart, LegendAndTotals) {
+  StackedBarChart chart{{"DataCollection", "Interrupt", "DataTransfer", "Computing"}};
+  chart.add("Baseline", {6, 16, 77, 1});
+  chart.add("Batching", {6, 3, 27, 1});
+  const std::string out = chart.render(60);
+  EXPECT_NE(out.find("legend:"), std::string::npos);
+  EXPECT_NE(out.find("DataTransfer"), std::string::npos);
+  EXPECT_NE(out.find("Baseline"), std::string::npos);
+  EXPECT_NE(out.find("100"), std::string::npos);  // total of first bar
+  EXPECT_NE(out.find("37"), std::string::npos);   // total of second bar
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t{{"App", "Energy (mJ)", "Savings"}};
+  t.add_row({"A2", "1902", "52%"});
+  t.add_row({"A4", "9071", "85%"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| App |"), std::string::npos);
+  EXPECT_NE(out.find("1902"), std::string::npos);
+  EXPECT_NE(out.find("+--"), std::string::npos);
+}
+
+TEST(TablePrinter, NumAndPctFormatters) {
+  EXPECT_EQ(TablePrinter::num(1.23456, 3), "1.23");
+  EXPECT_EQ(TablePrinter::pct(0.5234), "52.3%");
+  EXPECT_EQ(TablePrinter::pct(0.5234, 0), "52%");
+}
+
+TEST(CsvWriter, EscapesSpecials) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  CsvWriter w{{"app", "scheme", "joules"}};
+  w.add_row({"A2", "baseline", "1.9"});
+  w.add_row({"A2", "com", "0.55"});
+  std::ostringstream os;
+  w.write(os);
+  EXPECT_EQ(os.str(), "app,scheme,joules\nA2,baseline,1.9\nA2,com,0.55\n");
+}
+
+}  // namespace
+}  // namespace iotsim::trace
