@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_dma.dir/ablate_dma.cpp.o"
+  "CMakeFiles/ablate_dma.dir/ablate_dma.cpp.o.d"
+  "ablate_dma"
+  "ablate_dma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_dma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

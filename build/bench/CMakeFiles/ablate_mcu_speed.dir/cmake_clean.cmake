@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_mcu_speed.dir/ablate_mcu_speed.cpp.o"
+  "CMakeFiles/ablate_mcu_speed.dir/ablate_mcu_speed.cpp.o.d"
+  "ablate_mcu_speed"
+  "ablate_mcu_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_mcu_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_sensor_faults.dir/ablate_sensor_faults.cpp.o"
+  "CMakeFiles/ablate_sensor_faults.dir/ablate_sensor_faults.cpp.o.d"
+  "ablate_sensor_faults"
+  "ablate_sensor_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_sensor_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_sleep_breakeven.dir/ablate_sleep_breakeven.cpp.o"
+  "CMakeFiles/ablate_sleep_breakeven.dir/ablate_sleep_breakeven.cpp.o.d"
+  "ablate_sleep_breakeven"
+  "ablate_sleep_breakeven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_sleep_breakeven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

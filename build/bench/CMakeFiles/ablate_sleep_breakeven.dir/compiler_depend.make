@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablate_sleep_breakeven.
+# This may be replaced when dependencies are built.

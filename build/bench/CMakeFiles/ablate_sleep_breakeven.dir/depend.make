@@ -1,0 +1,2 @@
+# Empty dependencies file for ablate_sleep_breakeven.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_sleep_depth.dir/ablate_sleep_depth.cpp.o"
+  "CMakeFiles/ablate_sleep_depth.dir/ablate_sleep_depth.cpp.o.d"
+  "ablate_sleep_depth"
+  "ablate_sleep_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_sleep_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_idle_vs_baseline.dir/fig01_idle_vs_baseline.cpp.o"
+  "CMakeFiles/fig01_idle_vs_baseline.dir/fig01_idle_vs_baseline.cpp.o.d"
+  "fig01_idle_vs_baseline"
+  "fig01_idle_vs_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_idle_vs_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_transfer_split.dir/fig04_transfer_split.cpp.o"
+  "CMakeFiles/fig04_transfer_split.dir/fig04_transfer_split.cpp.o.d"
+  "fig04_transfer_split"
+  "fig04_transfer_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_transfer_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

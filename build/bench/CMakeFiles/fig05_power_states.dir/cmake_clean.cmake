@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_power_states.dir/fig05_power_states.cpp.o"
+  "CMakeFiles/fig05_power_states.dir/fig05_power_states.cpp.o.d"
+  "fig05_power_states"
+  "fig05_power_states.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_power_states.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

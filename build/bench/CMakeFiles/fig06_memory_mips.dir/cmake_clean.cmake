@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_memory_mips.dir/fig06_memory_mips.cpp.o"
+  "CMakeFiles/fig06_memory_mips.dir/fig06_memory_mips.cpp.o.d"
+  "fig06_memory_mips"
+  "fig06_memory_mips.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_memory_mips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

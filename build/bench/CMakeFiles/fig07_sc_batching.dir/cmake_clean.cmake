@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_sc_batching.dir/fig07_sc_batching.cpp.o"
+  "CMakeFiles/fig07_sc_batching.dir/fig07_sc_batching.cpp.o.d"
+  "fig07_sc_batching"
+  "fig07_sc_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_sc_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_sc_timing.dir/fig08_sc_timing.cpp.o"
+  "CMakeFiles/fig08_sc_timing.dir/fig08_sc_timing.cpp.o.d"
+  "fig08_sc_timing"
+  "fig08_sc_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_sc_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_sc_three_schemes.dir/fig09_sc_three_schemes.cpp.o"
+  "CMakeFiles/fig09_sc_three_schemes.dir/fig09_sc_three_schemes.cpp.o.d"
+  "fig09_sc_three_schemes"
+  "fig09_sc_three_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_sc_three_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

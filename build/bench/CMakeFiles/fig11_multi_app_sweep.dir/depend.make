@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_multi_app_sweep.
+# This may be replaced when dependencies are built.

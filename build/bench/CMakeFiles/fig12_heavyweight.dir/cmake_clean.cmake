@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_heavyweight.dir/fig12_heavyweight.cpp.o"
+  "CMakeFiles/fig12_heavyweight.dir/fig12_heavyweight.cpp.o.d"
+  "fig12_heavyweight"
+  "fig12_heavyweight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_heavyweight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_sensors.dir/table1_sensors.cpp.o"
+  "CMakeFiles/table1_sensors.dir/table1_sensors.cpp.o.d"
+  "table1_sensors"
+  "table1_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,89 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app_registry.cpp" "src/CMakeFiles/iotsim.dir/apps/app_registry.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/apps/app_registry.cpp.o.d"
+  "/root/repo/src/apps/arduino_json_app.cpp" "src/CMakeFiles/iotsim.dir/apps/arduino_json_app.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/apps/arduino_json_app.cpp.o.d"
+  "/root/repo/src/apps/blynk_app.cpp" "src/CMakeFiles/iotsim.dir/apps/blynk_app.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/apps/blynk_app.cpp.o.d"
+  "/root/repo/src/apps/coap_server_app.cpp" "src/CMakeFiles/iotsim.dir/apps/coap_server_app.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/apps/coap_server_app.cpp.o.d"
+  "/root/repo/src/apps/dropbox_app.cpp" "src/CMakeFiles/iotsim.dir/apps/dropbox_app.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/apps/dropbox_app.cpp.o.d"
+  "/root/repo/src/apps/earthquake_app.cpp" "src/CMakeFiles/iotsim.dir/apps/earthquake_app.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/apps/earthquake_app.cpp.o.d"
+  "/root/repo/src/apps/fingerprint_app.cpp" "src/CMakeFiles/iotsim.dir/apps/fingerprint_app.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/apps/fingerprint_app.cpp.o.d"
+  "/root/repo/src/apps/heartbeat_app.cpp" "src/CMakeFiles/iotsim.dir/apps/heartbeat_app.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/apps/heartbeat_app.cpp.o.d"
+  "/root/repo/src/apps/jpeg_decoder_app.cpp" "src/CMakeFiles/iotsim.dir/apps/jpeg_decoder_app.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/apps/jpeg_decoder_app.cpp.o.d"
+  "/root/repo/src/apps/m2x_app.cpp" "src/CMakeFiles/iotsim.dir/apps/m2x_app.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/apps/m2x_app.cpp.o.d"
+  "/root/repo/src/apps/speech_to_text_app.cpp" "src/CMakeFiles/iotsim.dir/apps/speech_to_text_app.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/apps/speech_to_text_app.cpp.o.d"
+  "/root/repo/src/apps/step_counter_app.cpp" "src/CMakeFiles/iotsim.dir/apps/step_counter_app.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/apps/step_counter_app.cpp.o.d"
+  "/root/repo/src/apps/workload_spec.cpp" "src/CMakeFiles/iotsim.dir/apps/workload_spec.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/apps/workload_spec.cpp.o.d"
+  "/root/repo/src/codecs/coap/coap_client.cpp" "src/CMakeFiles/iotsim.dir/codecs/coap/coap_client.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/codecs/coap/coap_client.cpp.o.d"
+  "/root/repo/src/codecs/coap/coap_codec.cpp" "src/CMakeFiles/iotsim.dir/codecs/coap/coap_codec.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/codecs/coap/coap_codec.cpp.o.d"
+  "/root/repo/src/codecs/coap/coap_message.cpp" "src/CMakeFiles/iotsim.dir/codecs/coap/coap_message.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/codecs/coap/coap_message.cpp.o.d"
+  "/root/repo/src/codecs/coap/coap_server.cpp" "src/CMakeFiles/iotsim.dir/codecs/coap/coap_server.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/codecs/coap/coap_server.cpp.o.d"
+  "/root/repo/src/codecs/fingerprint/matcher.cpp" "src/CMakeFiles/iotsim.dir/codecs/fingerprint/matcher.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/codecs/fingerprint/matcher.cpp.o.d"
+  "/root/repo/src/codecs/fingerprint/minutiae.cpp" "src/CMakeFiles/iotsim.dir/codecs/fingerprint/minutiae.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/codecs/fingerprint/minutiae.cpp.o.d"
+  "/root/repo/src/codecs/jpeg/huffman.cpp" "src/CMakeFiles/iotsim.dir/codecs/jpeg/huffman.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/codecs/jpeg/huffman.cpp.o.d"
+  "/root/repo/src/codecs/jpeg/idct.cpp" "src/CMakeFiles/iotsim.dir/codecs/jpeg/idct.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/codecs/jpeg/idct.cpp.o.d"
+  "/root/repo/src/codecs/jpeg/image.cpp" "src/CMakeFiles/iotsim.dir/codecs/jpeg/image.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/codecs/jpeg/image.cpp.o.d"
+  "/root/repo/src/codecs/jpeg/jpeg_decoder.cpp" "src/CMakeFiles/iotsim.dir/codecs/jpeg/jpeg_decoder.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/codecs/jpeg/jpeg_decoder.cpp.o.d"
+  "/root/repo/src/codecs/jpeg/jpeg_encoder.cpp" "src/CMakeFiles/iotsim.dir/codecs/jpeg/jpeg_encoder.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/codecs/jpeg/jpeg_encoder.cpp.o.d"
+  "/root/repo/src/codecs/json/json_parser.cpp" "src/CMakeFiles/iotsim.dir/codecs/json/json_parser.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/codecs/json/json_parser.cpp.o.d"
+  "/root/repo/src/codecs/json/json_value.cpp" "src/CMakeFiles/iotsim.dir/codecs/json/json_value.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/codecs/json/json_value.cpp.o.d"
+  "/root/repo/src/codecs/json/json_writer.cpp" "src/CMakeFiles/iotsim.dir/codecs/json/json_writer.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/codecs/json/json_writer.cpp.o.d"
+  "/root/repo/src/codecs/util/base64.cpp" "src/CMakeFiles/iotsim.dir/codecs/util/base64.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/codecs/util/base64.cpp.o.d"
+  "/root/repo/src/codecs/util/checksum.cpp" "src/CMakeFiles/iotsim.dir/codecs/util/checksum.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/codecs/util/checksum.cpp.o.d"
+  "/root/repo/src/core/app_executor.cpp" "src/CMakeFiles/iotsim.dir/core/app_executor.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/core/app_executor.cpp.o.d"
+  "/root/repo/src/core/comparison.cpp" "src/CMakeFiles/iotsim.dir/core/comparison.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/core/comparison.cpp.o.d"
+  "/root/repo/src/core/offload_planner.cpp" "src/CMakeFiles/iotsim.dir/core/offload_planner.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/core/offload_planner.cpp.o.d"
+  "/root/repo/src/core/qos.cpp" "src/CMakeFiles/iotsim.dir/core/qos.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/core/qos.cpp.o.d"
+  "/root/repo/src/core/result_json.cpp" "src/CMakeFiles/iotsim.dir/core/result_json.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/core/result_json.cpp.o.d"
+  "/root/repo/src/core/scenario_runner.cpp" "src/CMakeFiles/iotsim.dir/core/scenario_runner.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/core/scenario_runner.cpp.o.d"
+  "/root/repo/src/dsp/dtw.cpp" "src/CMakeFiles/iotsim.dir/dsp/dtw.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/dsp/dtw.cpp.o.d"
+  "/root/repo/src/dsp/fft.cpp" "src/CMakeFiles/iotsim.dir/dsp/fft.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/dsp/fft.cpp.o.d"
+  "/root/repo/src/dsp/filters.cpp" "src/CMakeFiles/iotsim.dir/dsp/filters.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/dsp/filters.cpp.o.d"
+  "/root/repo/src/dsp/mfcc.cpp" "src/CMakeFiles/iotsim.dir/dsp/mfcc.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/dsp/mfcc.cpp.o.d"
+  "/root/repo/src/dsp/pan_tompkins.cpp" "src/CMakeFiles/iotsim.dir/dsp/pan_tompkins.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/dsp/pan_tompkins.cpp.o.d"
+  "/root/repo/src/dsp/peak_detect.cpp" "src/CMakeFiles/iotsim.dir/dsp/peak_detect.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/dsp/peak_detect.cpp.o.d"
+  "/root/repo/src/dsp/sta_lta.cpp" "src/CMakeFiles/iotsim.dir/dsp/sta_lta.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/dsp/sta_lta.cpp.o.d"
+  "/root/repo/src/energy/battery.cpp" "src/CMakeFiles/iotsim.dir/energy/battery.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/energy/battery.cpp.o.d"
+  "/root/repo/src/energy/energy_accountant.cpp" "src/CMakeFiles/iotsim.dir/energy/energy_accountant.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/energy/energy_accountant.cpp.o.d"
+  "/root/repo/src/energy/energy_report.cpp" "src/CMakeFiles/iotsim.dir/energy/energy_report.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/energy/energy_report.cpp.o.d"
+  "/root/repo/src/energy/power_model.cpp" "src/CMakeFiles/iotsim.dir/energy/power_model.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/energy/power_model.cpp.o.d"
+  "/root/repo/src/energy/power_state_machine.cpp" "src/CMakeFiles/iotsim.dir/energy/power_state_machine.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/energy/power_state_machine.cpp.o.d"
+  "/root/repo/src/energy/routine.cpp" "src/CMakeFiles/iotsim.dir/energy/routine.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/energy/routine.cpp.o.d"
+  "/root/repo/src/hw/boards.cpp" "src/CMakeFiles/iotsim.dir/hw/boards.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/hw/boards.cpp.o.d"
+  "/root/repo/src/hw/bus.cpp" "src/CMakeFiles/iotsim.dir/hw/bus.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/hw/bus.cpp.o.d"
+  "/root/repo/src/hw/cpu.cpp" "src/CMakeFiles/iotsim.dir/hw/cpu.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/hw/cpu.cpp.o.d"
+  "/root/repo/src/hw/interrupt_controller.cpp" "src/CMakeFiles/iotsim.dir/hw/interrupt_controller.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/hw/interrupt_controller.cpp.o.d"
+  "/root/repo/src/hw/iot_hub.cpp" "src/CMakeFiles/iotsim.dir/hw/iot_hub.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/hw/iot_hub.cpp.o.d"
+  "/root/repo/src/hw/mcu.cpp" "src/CMakeFiles/iotsim.dir/hw/mcu.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/hw/mcu.cpp.o.d"
+  "/root/repo/src/hw/nic.cpp" "src/CMakeFiles/iotsim.dir/hw/nic.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/hw/nic.cpp.o.d"
+  "/root/repo/src/hw/processor.cpp" "src/CMakeFiles/iotsim.dir/hw/processor.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/hw/processor.cpp.o.d"
+  "/root/repo/src/sensors/sensor.cpp" "src/CMakeFiles/iotsim.dir/sensors/sensor.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/sensors/sensor.cpp.o.d"
+  "/root/repo/src/sensors/sensor_catalog.cpp" "src/CMakeFiles/iotsim.dir/sensors/sensor_catalog.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/sensors/sensor_catalog.cpp.o.d"
+  "/root/repo/src/sensors/signal_generators.cpp" "src/CMakeFiles/iotsim.dir/sensors/signal_generators.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/sensors/signal_generators.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/iotsim.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/join.cpp" "src/CMakeFiles/iotsim.dir/sim/join.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/sim/join.cpp.o.d"
+  "/root/repo/src/sim/process.cpp" "src/CMakeFiles/iotsim.dir/sim/process.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/sim/process.cpp.o.d"
+  "/root/repo/src/sim/random.cpp" "src/CMakeFiles/iotsim.dir/sim/random.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/sim/random.cpp.o.d"
+  "/root/repo/src/sim/sim_time.cpp" "src/CMakeFiles/iotsim.dir/sim/sim_time.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/sim/sim_time.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/iotsim.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/trace/ascii_chart.cpp" "src/CMakeFiles/iotsim.dir/trace/ascii_chart.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/trace/ascii_chart.cpp.o.d"
+  "/root/repo/src/trace/csv_writer.cpp" "src/CMakeFiles/iotsim.dir/trace/csv_writer.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/trace/csv_writer.cpp.o.d"
+  "/root/repo/src/trace/memory_profiler.cpp" "src/CMakeFiles/iotsim.dir/trace/memory_profiler.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/trace/memory_profiler.cpp.o.d"
+  "/root/repo/src/trace/mips_counter.cpp" "src/CMakeFiles/iotsim.dir/trace/mips_counter.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/trace/mips_counter.cpp.o.d"
+  "/root/repo/src/trace/power_trace.cpp" "src/CMakeFiles/iotsim.dir/trace/power_trace.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/trace/power_trace.cpp.o.d"
+  "/root/repo/src/trace/table_printer.cpp" "src/CMakeFiles/iotsim.dir/trace/table_printer.cpp.o" "gcc" "src/CMakeFiles/iotsim.dir/trace/table_printer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

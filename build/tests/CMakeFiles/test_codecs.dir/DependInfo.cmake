@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/codecs/test_coap.cpp" "tests/CMakeFiles/test_codecs.dir/codecs/test_coap.cpp.o" "gcc" "tests/CMakeFiles/test_codecs.dir/codecs/test_coap.cpp.o.d"
+  "/root/repo/tests/codecs/test_coap_client.cpp" "tests/CMakeFiles/test_codecs.dir/codecs/test_coap_client.cpp.o" "gcc" "tests/CMakeFiles/test_codecs.dir/codecs/test_coap_client.cpp.o.d"
+  "/root/repo/tests/codecs/test_coap_server.cpp" "tests/CMakeFiles/test_codecs.dir/codecs/test_coap_server.cpp.o" "gcc" "tests/CMakeFiles/test_codecs.dir/codecs/test_coap_server.cpp.o.d"
+  "/root/repo/tests/codecs/test_fingerprint.cpp" "tests/CMakeFiles/test_codecs.dir/codecs/test_fingerprint.cpp.o" "gcc" "tests/CMakeFiles/test_codecs.dir/codecs/test_fingerprint.cpp.o.d"
+  "/root/repo/tests/codecs/test_jpeg.cpp" "tests/CMakeFiles/test_codecs.dir/codecs/test_jpeg.cpp.o" "gcc" "tests/CMakeFiles/test_codecs.dir/codecs/test_jpeg.cpp.o.d"
+  "/root/repo/tests/codecs/test_json.cpp" "tests/CMakeFiles/test_codecs.dir/codecs/test_json.cpp.o" "gcc" "tests/CMakeFiles/test_codecs.dir/codecs/test_json.cpp.o.d"
+  "/root/repo/tests/codecs/test_robustness.cpp" "tests/CMakeFiles/test_codecs.dir/codecs/test_robustness.cpp.o" "gcc" "tests/CMakeFiles/test_codecs.dir/codecs/test_robustness.cpp.o.d"
+  "/root/repo/tests/codecs/test_util.cpp" "tests/CMakeFiles/test_codecs.dir/codecs/test_util.cpp.o" "gcc" "tests/CMakeFiles/test_codecs.dir/codecs/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/iotsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_codecs.dir/codecs/test_coap.cpp.o"
+  "CMakeFiles/test_codecs.dir/codecs/test_coap.cpp.o.d"
+  "CMakeFiles/test_codecs.dir/codecs/test_coap_client.cpp.o"
+  "CMakeFiles/test_codecs.dir/codecs/test_coap_client.cpp.o.d"
+  "CMakeFiles/test_codecs.dir/codecs/test_coap_server.cpp.o"
+  "CMakeFiles/test_codecs.dir/codecs/test_coap_server.cpp.o.d"
+  "CMakeFiles/test_codecs.dir/codecs/test_fingerprint.cpp.o"
+  "CMakeFiles/test_codecs.dir/codecs/test_fingerprint.cpp.o.d"
+  "CMakeFiles/test_codecs.dir/codecs/test_jpeg.cpp.o"
+  "CMakeFiles/test_codecs.dir/codecs/test_jpeg.cpp.o.d"
+  "CMakeFiles/test_codecs.dir/codecs/test_json.cpp.o"
+  "CMakeFiles/test_codecs.dir/codecs/test_json.cpp.o.d"
+  "CMakeFiles/test_codecs.dir/codecs/test_robustness.cpp.o"
+  "CMakeFiles/test_codecs.dir/codecs/test_robustness.cpp.o.d"
+  "CMakeFiles/test_codecs.dir/codecs/test_util.cpp.o"
+  "CMakeFiles/test_codecs.dir/codecs/test_util.cpp.o.d"
+  "test_codecs"
+  "test_codecs.pdb"
+  "test_codecs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_codecs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

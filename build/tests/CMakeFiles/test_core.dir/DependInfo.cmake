@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_comparison.cpp" "tests/CMakeFiles/test_core.dir/core/test_comparison.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_comparison.cpp.o.d"
+  "/root/repo/tests/core/test_extensions.cpp" "tests/CMakeFiles/test_core.dir/core/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_extensions.cpp.o.d"
+  "/root/repo/tests/core/test_fault_injection.cpp" "tests/CMakeFiles/test_core.dir/core/test_fault_injection.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_fault_injection.cpp.o.d"
+  "/root/repo/tests/core/test_offload_planner.cpp" "tests/CMakeFiles/test_core.dir/core/test_offload_planner.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_offload_planner.cpp.o.d"
+  "/root/repo/tests/core/test_paper_reproduction.cpp" "tests/CMakeFiles/test_core.dir/core/test_paper_reproduction.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_paper_reproduction.cpp.o.d"
+  "/root/repo/tests/core/test_qos.cpp" "tests/CMakeFiles/test_core.dir/core/test_qos.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_qos.cpp.o.d"
+  "/root/repo/tests/core/test_result_json.cpp" "tests/CMakeFiles/test_core.dir/core/test_result_json.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_result_json.cpp.o.d"
+  "/root/repo/tests/core/test_scenario_properties.cpp" "tests/CMakeFiles/test_core.dir/core/test_scenario_properties.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_scenario_properties.cpp.o.d"
+  "/root/repo/tests/core/test_scenario_schemes.cpp" "tests/CMakeFiles/test_core.dir/core/test_scenario_schemes.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_scenario_schemes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/iotsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_comparison.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_comparison.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_extensions.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_extensions.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_fault_injection.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_fault_injection.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_offload_planner.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_offload_planner.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_paper_reproduction.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_paper_reproduction.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_qos.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_qos.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_result_json.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_result_json.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_scenario_properties.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_scenario_properties.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_scenario_schemes.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_scenario_schemes.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

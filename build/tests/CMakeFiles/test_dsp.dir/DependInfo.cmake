@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dsp/test_detectors.cpp" "tests/CMakeFiles/test_dsp.dir/dsp/test_detectors.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/dsp/test_detectors.cpp.o.d"
+  "/root/repo/tests/dsp/test_fft.cpp" "tests/CMakeFiles/test_dsp.dir/dsp/test_fft.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/dsp/test_fft.cpp.o.d"
+  "/root/repo/tests/dsp/test_filters.cpp" "tests/CMakeFiles/test_dsp.dir/dsp/test_filters.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/dsp/test_filters.cpp.o.d"
+  "/root/repo/tests/dsp/test_mfcc_dtw.cpp" "tests/CMakeFiles/test_dsp.dir/dsp/test_mfcc_dtw.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/dsp/test_mfcc_dtw.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/iotsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/energy/test_battery.cpp" "tests/CMakeFiles/test_energy.dir/energy/test_battery.cpp.o" "gcc" "tests/CMakeFiles/test_energy.dir/energy/test_battery.cpp.o.d"
+  "/root/repo/tests/energy/test_energy_accountant.cpp" "tests/CMakeFiles/test_energy.dir/energy/test_energy_accountant.cpp.o" "gcc" "tests/CMakeFiles/test_energy.dir/energy/test_energy_accountant.cpp.o.d"
+  "/root/repo/tests/energy/test_energy_report.cpp" "tests/CMakeFiles/test_energy.dir/energy/test_energy_report.cpp.o" "gcc" "tests/CMakeFiles/test_energy.dir/energy/test_energy_report.cpp.o.d"
+  "/root/repo/tests/energy/test_power_model.cpp" "tests/CMakeFiles/test_energy.dir/energy/test_power_model.cpp.o" "gcc" "tests/CMakeFiles/test_energy.dir/energy/test_power_model.cpp.o.d"
+  "/root/repo/tests/energy/test_power_state_machine.cpp" "tests/CMakeFiles/test_energy.dir/energy/test_power_state_machine.cpp.o" "gcc" "tests/CMakeFiles/test_energy.dir/energy/test_power_state_machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/iotsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_energy.dir/energy/test_battery.cpp.o"
+  "CMakeFiles/test_energy.dir/energy/test_battery.cpp.o.d"
+  "CMakeFiles/test_energy.dir/energy/test_energy_accountant.cpp.o"
+  "CMakeFiles/test_energy.dir/energy/test_energy_accountant.cpp.o.d"
+  "CMakeFiles/test_energy.dir/energy/test_energy_report.cpp.o"
+  "CMakeFiles/test_energy.dir/energy/test_energy_report.cpp.o.d"
+  "CMakeFiles/test_energy.dir/energy/test_power_model.cpp.o"
+  "CMakeFiles/test_energy.dir/energy/test_power_model.cpp.o.d"
+  "CMakeFiles/test_energy.dir/energy/test_power_state_machine.cpp.o"
+  "CMakeFiles/test_energy.dir/energy/test_power_state_machine.cpp.o.d"
+  "test_energy"
+  "test_energy.pdb"
+  "test_energy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hw/test_bus.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_bus.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_bus.cpp.o.d"
+  "/root/repo/tests/hw/test_interrupt_controller.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_interrupt_controller.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_interrupt_controller.cpp.o.d"
+  "/root/repo/tests/hw/test_iot_hub.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_iot_hub.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_iot_hub.cpp.o.d"
+  "/root/repo/tests/hw/test_nic.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_nic.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_nic.cpp.o.d"
+  "/root/repo/tests/hw/test_processor.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_processor.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_processor.cpp.o.d"
+  "/root/repo/tests/hw/test_processor_policies.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_processor_policies.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_processor_policies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/iotsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw.dir/hw/test_bus.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_bus.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_interrupt_controller.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_interrupt_controller.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_iot_hub.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_iot_hub.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_nic.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_nic.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_processor.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_processor.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_processor_policies.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_processor_policies.cpp.o.d"
+  "test_hw"
+  "test_hw.pdb"
+  "test_hw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sensors.dir/sensors/test_sensor_catalog.cpp.o"
+  "CMakeFiles/test_sensors.dir/sensors/test_sensor_catalog.cpp.o.d"
+  "CMakeFiles/test_sensors.dir/sensors/test_signal_generators.cpp.o"
+  "CMakeFiles/test_sensors.dir/sensors/test_signal_generators.cpp.o.d"
+  "test_sensors"
+  "test_sensors.pdb"
+  "test_sensors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

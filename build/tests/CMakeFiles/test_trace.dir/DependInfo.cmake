@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/test_memory_profiler.cpp" "tests/CMakeFiles/test_trace.dir/trace/test_memory_profiler.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/test_memory_profiler.cpp.o.d"
+  "/root/repo/tests/trace/test_mips_counter.cpp" "tests/CMakeFiles/test_trace.dir/trace/test_mips_counter.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/test_mips_counter.cpp.o.d"
+  "/root/repo/tests/trace/test_power_trace.cpp" "tests/CMakeFiles/test_trace.dir/trace/test_power_trace.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/test_power_trace.cpp.o.d"
+  "/root/repo/tests/trace/test_reporters.cpp" "tests/CMakeFiles/test_trace.dir/trace/test_reporters.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/test_reporters.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/iotsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
