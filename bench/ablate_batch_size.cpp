@@ -5,21 +5,32 @@
 
 using namespace iotsim;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session{bench::parse_options(argc, argv)};
   std::cout << "=== Ablation: batch size (flushes per window), step counter ===\n\n";
 
-  const auto base = bench::run({apps::AppId::kA2StepCounter}, core::Scheme::kBaseline);
+  const int kFlushes[] = {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000};
+  auto batched = [&](int flushes) {
+    return core::Scenario::builder()
+        .apps({apps::AppId::kA2StepCounter})
+        .scheme(core::Scheme::kBatching)
+        .windows(session.windows())
+        .batch_flushes_per_window(flushes)
+        .build();
+  };
+
+  std::vector<core::Scenario> sweep;
+  sweep.push_back(session.scenario({apps::AppId::kA2StepCounter}, core::Scheme::kBaseline));
+  for (int flushes : kFlushes) sweep.push_back(batched(flushes));
+  session.prefetch(sweep);
+
+  const auto base = session.run({apps::AppId::kA2StepCounter}, core::Scheme::kBaseline);
 
   trace::TablePrinter t{{"Flushes/window", "Samples/batch", "Energy (mJ)", "Savings vs baseline",
                          "Interrupts", "CPU wakeups"}};
   trace::BarChart chart{"% savings"};
-  for (int flushes : {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000}) {
-    core::Scenario sc;
-    sc.app_ids = {apps::AppId::kA2StepCounter};
-    sc.scheme = core::Scheme::kBatching;
-    sc.windows = bench::kDefaultWindows;
-    sc.batch_flushes_per_window = flushes;
-    const auto r = core::run_scenario(sc);
+  for (int flushes : kFlushes) {
+    const auto r = session.run(batched(flushes));
     const double sav = r.energy.savings_vs(base.energy);
     using TP = trace::TablePrinter;
     t.add_row({std::to_string(flushes), std::to_string(1000 / flushes),

@@ -7,20 +7,31 @@
 using namespace iotsim;
 using apps::AppId;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session{
+      bench::parse_options(argc, argv, bench::Options{.jobs = 0, .windows = 3})};
   std::cout << "=== Ablation: concurrent per-sample apps vs. the interrupt wall ===\n\n";
 
   // Incrementally stacked 1 kHz-heavy apps.
   const std::vector<AppId> stack = {AppId::kA2StepCounter, AppId::kA7Earthquake,
                                     AppId::kA8Heartbeat, AppId::kA6Dropbox};
+  const core::Scheme schemes[] = {core::Scheme::kBaseline, core::Scheme::kBeam,
+                                  core::Scheme::kBcom};
+
+  std::vector<core::Scenario> sweep;
+  for (std::size_t n = 1; n <= stack.size(); ++n) {
+    const std::vector<AppId> ids(stack.begin(), stack.begin() + static_cast<std::ptrdiff_t>(n));
+    for (auto scheme : schemes) sweep.push_back(session.scenario(ids, scheme));
+  }
+  session.prefetch(sweep);
 
   trace::TablePrinter t{{"Apps", "Scheme", "Interrupts/s", "Energy (J)", "Worst latency (ms)",
                          "QoS"}};
   using TP = trace::TablePrinter;
   for (std::size_t n = 1; n <= stack.size(); ++n) {
     const std::vector<AppId> ids(stack.begin(), stack.begin() + static_cast<std::ptrdiff_t>(n));
-    for (auto scheme : {core::Scheme::kBaseline, core::Scheme::kBeam, core::Scheme::kBcom}) {
-      const auto r = bench::run(ids, scheme, 3);
+    for (auto scheme : schemes) {
+      const auto r = session.run(ids, scheme);
       sim::Duration worst = sim::Duration::zero();
       for (const auto& [id, res] : r.apps) worst = std::max(worst, res.qos.worst_latency);
       t.add_row({bench::combo_name(ids), std::string{to_string(scheme)},

@@ -9,25 +9,28 @@ using apps::AppId;
 
 namespace {
 
-core::ScenarioResult run_dma(std::vector<AppId> ids, core::Scheme scheme, bool dma) {
-  core::Scenario sc;
-  sc.app_ids = std::move(ids);
-  sc.scheme = scheme;
-  sc.windows = bench::kDefaultWindows;
-  sc.world = bench::active_world();
-  sc.hub.dma_enabled = dma;
-  return core::run_scenario(sc);
+core::Scenario dma_scenario(bench::Session& session, std::vector<AppId> ids,
+                            core::Scheme scheme, bool dma) {
+  auto hub = hw::default_hub_spec();
+  hub.dma_enabled = dma;
+  return core::Scenario::builder()
+      .apps(std::move(ids))
+      .scheme(scheme)
+      .windows(session.windows())
+      .world(bench::active_world())
+      .hub(hub)
+      .build();
 }
 
-void block(const char* title, std::vector<AppId> ids) {
+void block(bench::Session& session, const char* title, const std::vector<AppId>& ids) {
   std::cout << "--- " << title << " ---\n";
   trace::TablePrinter t{{"Scheme", "PIO energy (J)", "DMA energy (J)", "DMA gain",
                          "Savings vs PIO baseline"}};
-  const auto pio_base = run_dma(ids, core::Scheme::kBaseline, false);
+  const auto pio_base = session.run(dma_scenario(session, ids, core::Scheme::kBaseline, false));
   using TP = trace::TablePrinter;
   for (auto scheme : {core::Scheme::kBaseline, core::Scheme::kBatching}) {
-    const auto pio = run_dma(ids, scheme, false);
-    const auto dma = run_dma(ids, scheme, true);
+    const auto pio = session.run(dma_scenario(session, ids, scheme, false));
+    const auto dma = session.run(dma_scenario(session, ids, scheme, true));
     t.add_row({std::string{to_string(scheme)}, TP::num(pio.total_joules(), 4),
                TP::num(dma.total_joules(), 4), TP::pct(dma.energy.savings_vs(pio.energy)),
                TP::pct(dma.energy.savings_vs(pio_base.energy))});
@@ -37,13 +40,27 @@ void block(const char* title, std::vector<AppId> ids) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session{bench::parse_options(argc, argv)};
   std::cout << "=== Ablation: DMA on the CPU<->MCU link (SIV-F future work) ===\n\n";
-  block("heavy-weight A11 (where the paper says software alone fails)",
-        {AppId::kA11SpeechToText});
-  block("A11 + A6 concurrent", {AppId::kA11SpeechToText, AppId::kA6Dropbox});
-  block("light-weight A2 (already fixed by COM; DMA adds little)",
-        {AppId::kA2StepCounter});
+
+  const std::vector<std::vector<AppId>> combos = {
+      {AppId::kA11SpeechToText},
+      {AppId::kA11SpeechToText, AppId::kA6Dropbox},
+      {AppId::kA2StepCounter},
+  };
+  std::vector<core::Scenario> sweep;
+  for (const auto& ids : combos) {
+    for (auto scheme : {core::Scheme::kBaseline, core::Scheme::kBatching}) {
+      sweep.push_back(dma_scenario(session, ids, scheme, false));
+      sweep.push_back(dma_scenario(session, ids, scheme, true));
+    }
+  }
+  session.prefetch(sweep);
+
+  block(session, "heavy-weight A11 (where the paper says software alone fails)", combos[0]);
+  block(session, "A11 + A6 concurrent", combos[1]);
+  block(session, "light-weight A2 (already fixed by COM; DMA adds little)", combos[2]);
   std::cout << "DMA attacks exactly the component Batching cannot remove for\n"
                "heavy apps: the CPU's involvement in moving bytes. Combined with\n"
                "Batching it recovers most of the remaining transfer energy.\n";

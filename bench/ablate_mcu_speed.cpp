@@ -5,22 +5,33 @@
 
 using namespace iotsim;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session{bench::parse_options(argc, argv)};
   std::cout << "=== Ablation: COM vs MCU speed (step counter) ===\n\n";
 
-  const auto base = bench::run({apps::AppId::kA2StepCounter}, core::Scheme::kBaseline);
+  const double kFactors[] = {0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0};
+  auto com_at = [&](double factor) {
+    return core::Scenario::builder()
+        .apps({apps::AppId::kA2StepCounter})
+        .scheme(core::Scheme::kCom)
+        .windows(session.windows())
+        .mcu_speed_factor(factor)
+        .build();
+  };
+
+  std::vector<core::Scenario> sweep;
+  sweep.push_back(session.scenario({apps::AppId::kA2StepCounter}, core::Scheme::kBaseline));
+  for (double factor : kFactors) sweep.push_back(com_at(factor));
+  session.prefetch(sweep);
+
+  const auto base = session.run({apps::AppId::kA2StepCounter}, core::Scheme::kBaseline);
   const double base_busy_ms =
       base.apps.at(apps::AppId::kA2StepCounter).busy_per_window.total().to_ms();
 
   trace::TablePrinter t{{"MCU kernel time", "COM busy (ms)", "Speedup", "Energy (mJ)",
                          "Savings", "QoS"}};
-  for (double factor : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
-    core::Scenario sc;
-    sc.app_ids = {apps::AppId::kA2StepCounter};
-    sc.scheme = core::Scheme::kCom;
-    sc.windows = bench::kDefaultWindows;
-    sc.mcu_speed_factor = factor;
-    const auto r = core::run_scenario(sc);
+  for (double factor : kFactors) {
+    const auto r = session.run(com_at(factor));
     const double busy_ms = r.apps.at(apps::AppId::kA2StepCounter).busy_per_window.total().to_ms();
     using TP = trace::TablePrinter;
     t.add_row({TP::num(factor, 3) + "x (" +

@@ -5,34 +5,53 @@
 
 using namespace iotsim;
 
-int main() {
+namespace {
+
+core::Scenario faulty_scenario(bench::Session& session, core::Scheme scheme, double prob) {
+  sensors::WorldConfig world;  // default quiet world, as in the original bench
+  world.sensor_fault_prob = prob;
+  return core::Scenario::builder()
+      .apps({apps::AppId::kA2StepCounter})
+      .scheme(scheme)
+      .windows(session.windows())
+      .world(world)
+      .build();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Session session{bench::parse_options(argc, argv)};
   std::cout << "=== Ablation: sensor fault rate (step counter) ===\n\n";
+
+  const double kProbs[] = {0.0, 0.02, 0.10, 0.25};
+  const core::Scheme kSchemes[] = {core::Scheme::kBaseline, core::Scheme::kBatching,
+                                   core::Scheme::kCom};
+  // The clean (prob=0) scenarios recur for every fault row; the sweep memo
+  // runs each exactly once.
+  std::vector<core::Scenario> sweep;
+  for (double prob : kProbs) {
+    for (auto scheme : kSchemes) {
+      sweep.push_back(faulty_scenario(session, scheme, prob));
+      sweep.push_back(faulty_scenario(session, scheme, 0.0));
+    }
+  }
+  session.prefetch(sweep);
 
   trace::TablePrinter t{{"Fault prob", "Scheme", "Errors", "Energy (mJ)", "Overhead vs clean",
                          "Savings vs faulty baseline"}};
   using TP = trace::TablePrinter;
-  for (double prob : {0.0, 0.02, 0.10, 0.25}) {
-    double clean[3] = {0, 0, 0};
+  for (double prob : kProbs) {
     double baseline_j = 0.0;
-    int idx = 0;
-    for (auto scheme : {core::Scheme::kBaseline, core::Scheme::kBatching, core::Scheme::kCom}) {
-      core::Scenario sc;
-      sc.app_ids = {apps::AppId::kA2StepCounter};
-      sc.scheme = scheme;
-      sc.windows = bench::kDefaultWindows;
-      sc.world.sensor_fault_prob = prob;
-      const auto r = core::run_scenario(sc);
-
-      core::Scenario clean_sc = sc;
-      clean_sc.world.sensor_fault_prob = 0.0;
-      clean[idx] = core::run_scenario(clean_sc).total_joules();
+    for (auto scheme : kSchemes) {
+      const auto r = session.run(faulty_scenario(session, scheme, prob));
+      const double clean_j = session.run(faulty_scenario(session, scheme, 0.0)).total_joules();
       if (scheme == core::Scheme::kBaseline) baseline_j = r.total_joules();
 
       t.add_row({TP::num(prob, 3), std::string{to_string(scheme)},
                  std::to_string(r.sensor_read_errors), TP::num(r.total_joules() * 1e3, 5),
-                 TP::pct(r.total_joules() / clean[idx] - 1.0),
+                 TP::pct(r.total_joules() / clean_j - 1.0),
                  TP::pct(1.0 - r.total_joules() / baseline_j)});
-      ++idx;
     }
   }
   std::cout << t.render() << '\n';

@@ -8,23 +8,25 @@ using namespace iotsim;
 
 namespace {
 
-core::ScenarioResult run_depths(apps::AppId id, core::Scheme scheme, double light_w,
-                                double deep_w) {
-  core::Scenario sc;
-  sc.app_ids = {id};
-  sc.scheme = scheme;
-  sc.windows = bench::kDefaultWindows;
-  sc.hub.cpu.light_sleep_w = light_w;
-  sc.hub.cpu.deep_sleep_w = deep_w;
-  return core::run_scenario(sc);
+core::Scenario depth_scenario(bench::Session& session, core::Scheme scheme, double light_w,
+                              double deep_w) {
+  auto hub = hw::default_hub_spec();
+  hub.cpu.light_sleep_w = light_w;
+  hub.cpu.deep_sleep_w = deep_w;
+  return core::Scenario::builder()
+      .apps({apps::AppId::kA2StepCounter})
+      .scheme(scheme)
+      .windows(session.windows())
+      .hub(hub)
+      .build();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session{bench::parse_options(argc, argv)};
   std::cout << "=== Ablation: CPU sleep depth vs COM/Batching savings (A2) ===\n\n";
 
-  const auto id = apps::AppId::kA2StepCounter;
   struct Config {
     const char* name;
     double light_w;
@@ -37,13 +39,26 @@ int main() {
       {"calibrated two-depth (0.45/0.10 W)", 0.45, 0.10},
       {"aggressive deep (0.45/0.02 W)", 0.45, 0.02},
   };
+  const core::Scheme kSchemes[] = {core::Scheme::kBaseline, core::Scheme::kBatching,
+                                   core::Scheme::kCom};
+
+  std::vector<core::Scenario> sweep;
+  for (const auto& cfg : configs) {
+    for (auto scheme : kSchemes) {
+      sweep.push_back(depth_scenario(session, scheme, cfg.light_w, cfg.deep_w));
+    }
+  }
+  session.prefetch(sweep);
 
   trace::TablePrinter t{{"Sleep model", "Batching savings", "COM savings", "COM energy (mJ)"}};
   using TP = trace::TablePrinter;
   for (const auto& cfg : configs) {
-    const auto base = run_depths(id, core::Scheme::kBaseline, cfg.light_w, cfg.deep_w);
-    const auto batch = run_depths(id, core::Scheme::kBatching, cfg.light_w, cfg.deep_w);
-    const auto com = run_depths(id, core::Scheme::kCom, cfg.light_w, cfg.deep_w);
+    const auto base =
+        session.run(depth_scenario(session, core::Scheme::kBaseline, cfg.light_w, cfg.deep_w));
+    const auto batch =
+        session.run(depth_scenario(session, core::Scheme::kBatching, cfg.light_w, cfg.deep_w));
+    const auto com =
+        session.run(depth_scenario(session, core::Scheme::kCom, cfg.light_w, cfg.deep_w));
     t.add_row({cfg.name, TP::pct(batch.energy.savings_vs(base.energy)),
                TP::pct(com.energy.savings_vs(base.energy)),
                TP::num(com.total_joules() * 1e3, 5)});

@@ -1,11 +1,23 @@
-// Shared helpers for the figure-regeneration benches.
+// Shared helpers for the figure-regeneration benches: common world setup,
+// paper-style breakdown tables, and the sweep session every bench main runs
+// its scenarios through.
+//
+// Every bench accepts the same flags:
+//   --jobs=N     worker threads for the scenario sweep (default: all cores)
+//   --windows=K  QoS windows per scenario (default: bench-specific)
+// Numbers are bit-identical at any --jobs value: scenarios are seeded by
+// content and collected in order (see core/sweep.h).
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/scenario_runner.h"
+#include "core/sweep.h"
 #include "trace/ascii_chart.h"
 #include "trace/csv_writer.h"
 #include "trace/table_printer.h"
@@ -25,16 +37,97 @@ inline sensors::WorldConfig active_world() {
   return world;
 }
 
-inline core::ScenarioResult run(std::vector<apps::AppId> ids, core::Scheme scheme,
-                                int windows = kDefaultWindows, bool trace = false) {
-  core::Scenario sc;
-  sc.app_ids = std::move(ids);
-  sc.scheme = scheme;
-  sc.windows = windows;
-  sc.world = active_world();
-  sc.record_power_trace = trace;
-  return core::run_scenario(sc);
+/// Command-line options shared by every bench main.
+struct Options {
+  int jobs = 0;  // <= 0 ⇒ all hardware threads
+  int windows = kDefaultWindows;
+};
+
+/// Parses --jobs=N / --windows=K (exits with usage on anything else).
+/// `defaults` carries the bench's own window count where it differs.
+inline Options parse_options(int argc, char** argv, Options defaults = {}) {
+  Options o = defaults;
+  auto int_flag = [](const std::string& arg,
+                     const std::string& prefix) -> std::optional<int> {
+    if (arg.rfind(prefix, 0) != 0) return std::nullopt;
+    return std::atoi(arg.c_str() + prefix.size());
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (auto v = int_flag(arg, "--jobs=")) {
+      o.jobs = *v;
+    } else if (auto w = int_flag(arg, "--windows=")) {
+      o.windows = *w;
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--jobs=N] [--windows=K]\n";
+      std::exit(arg == "--help" || arg == "-h" ? 0 : 2);
+    }
+  }
+  if (o.windows <= 0) {
+    std::cerr << "--windows must be positive\n";
+    std::exit(2);
+  }
+  return o;
 }
+
+/// One bench run's sweep context: builds scenarios against the shared world
+/// and executes them through a memoized parallel SweepRunner. Construct all
+/// scenarios first and prefetch() them so --jobs can fan the batch out;
+/// subsequent run() calls are then cache hits.
+class Session {
+ public:
+  explicit Session(Options opts)
+      : opts_{opts}, sweep_{core::SweepOptions{.jobs = opts.jobs, .memoize = true}} {}
+
+  ~Session() {
+    // Diagnostics go to stderr so table/CSV output on stdout stays
+    // byte-identical across --jobs values.
+    const auto& s = sweep_.stats();
+    std::cerr << "[sweep] jobs=" << sweep_.jobs() << " scenarios=" << s.scheduled
+              << " executed=" << s.executed << " cache-hits=" << s.cache_hits << '\n';
+  }
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  [[nodiscard]] int windows() const { return opts_.windows; }
+
+  /// The bench-standard scenario: given apps/scheme against active_world().
+  [[nodiscard]] core::Scenario scenario(std::vector<apps::AppId> ids, core::Scheme scheme,
+                                        bool trace = false) const {
+    return core::Scenario::builder()
+        .apps(std::move(ids))
+        .scheme(scheme)
+        .windows(opts_.windows)
+        .world(active_world())
+        .record_power_trace(trace)
+        .build();
+  }
+
+  /// Warms the memo with a batch of scenarios, in parallel.
+  void prefetch(const std::vector<core::Scenario>& scenarios) {
+    (void)sweep_.run(scenarios);
+  }
+
+  [[nodiscard]] core::ScenarioResult run(const core::Scenario& sc) {
+    return sweep_.run_one(sc);
+  }
+  [[nodiscard]] core::ScenarioResult run(std::vector<apps::AppId> ids, core::Scheme scheme,
+                                         bool trace = false) {
+    return sweep_.run_one(scenario(std::move(ids), scheme, trace));
+  }
+
+  [[nodiscard]] std::vector<core::ScenarioResult> run_all(
+      const std::vector<core::Scenario>& scenarios) {
+    return sweep_.run(scenarios);
+  }
+
+  [[nodiscard]] core::SweepRunner& sweep() { return sweep_; }
+
+ private:
+  Options opts_;
+  core::SweepRunner sweep_;
+};
 
 /// Paper-style four-routine percentages of a scheme run, normalised to a
 /// baseline run's total (the bars of Figs. 7/9/10/11/12).

@@ -4,7 +4,8 @@
 
 using namespace iotsim;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session{bench::parse_options(argc, argv)};
   std::cout << "=== Fig. 1: idle hub vs. running baseline ===\n\n";
 
   // Idle hub: simulate the platform with no app at all by running a
@@ -12,18 +13,24 @@ int main() {
   sim::Simulator sim;
   energy::EnergyAccountant acct;
   hw::IotHub hub{sim, acct, hw::default_hub_spec()};
-  const auto span = sim::Duration::sec(bench::kDefaultWindows);
+  const auto span = sim::Duration::sec(session.windows());
   sim.run_until(sim::SimTime::origin() + span);
   hub.flush_power();
   const auto idle = energy::EnergyReport::from_accountant(acct, span);
 
+  std::vector<core::Scenario> sweep;
+  for (auto id : apps::kLightweightApps) {
+    sweep.push_back(session.scenario({id}, core::Scheme::kBaseline));
+  }
+  session.prefetch(sweep);
+
   double baseline_watts_sum = 0.0;
   trace::TablePrinter t{{"App", "Baseline avg power (W)", "Energy / window (J)"}};
   for (auto id : apps::kLightweightApps) {
-    const auto r = bench::run({id}, core::Scheme::kBaseline);
+    const auto r = session.run({id}, core::Scheme::kBaseline);
     baseline_watts_sum += r.average_watts();
     t.add_row({std::string{apps::code_of(id)}, trace::TablePrinter::num(r.average_watts(), 4),
-               trace::TablePrinter::num(r.total_joules() / bench::kDefaultWindows, 4)});
+               trace::TablePrinter::num(r.total_joules() / session.windows(), 4)});
   }
   const double baseline_avg_w = baseline_watts_sum / 10.0;
   std::cout << t.render() << '\n';

@@ -6,13 +6,21 @@
 using namespace iotsim;
 using apps::AppId;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session{bench::parse_options(argc, argv)};
   std::cout << "=== Fig. 3: SC / M2X / SC+M2X / BEAM energy breakdown ===\n\n";
 
-  const auto sc = bench::run({AppId::kA2StepCounter}, core::Scheme::kBaseline);
-  const auto m2x = bench::run({AppId::kA4M2x}, core::Scheme::kBaseline);
-  const auto both = bench::run({AppId::kA2StepCounter, AppId::kA4M2x}, core::Scheme::kBaseline);
-  const auto beam = bench::run({AppId::kA2StepCounter, AppId::kA4M2x}, core::Scheme::kBeam);
+  session.prefetch({
+      session.scenario({AppId::kA2StepCounter}, core::Scheme::kBaseline),
+      session.scenario({AppId::kA4M2x}, core::Scheme::kBaseline),
+      session.scenario({AppId::kA2StepCounter, AppId::kA4M2x}, core::Scheme::kBaseline),
+      session.scenario({AppId::kA2StepCounter, AppId::kA4M2x}, core::Scheme::kBeam),
+  });
+  const auto sc = session.run({AppId::kA2StepCounter}, core::Scheme::kBaseline);
+  const auto m2x = session.run({AppId::kA4M2x}, core::Scheme::kBaseline);
+  const auto both =
+      session.run({AppId::kA2StepCounter, AppId::kA4M2x}, core::Scheme::kBaseline);
+  const auto beam = session.run({AppId::kA2StepCounter, AppId::kA4M2x}, core::Scheme::kBeam);
 
   trace::TablePrinter t{{"Scenario", "Energy (mJ)", "DataColl", "Interrupt", "DataTransfer",
                          "Computing", "Idle"}};

@@ -4,10 +4,11 @@
 
 using namespace iotsim;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session{bench::parse_options(argc, argv)};
   std::cout << "=== Fig. 4: baseline data-transfer energy split (step counter) ===\n\n";
 
-  const auto r = bench::run({apps::AppId::kA2StepCounter}, core::Scheme::kBaseline);
+  const auto r = session.run({apps::AppId::kA2StepCounter}, core::Scheme::kBaseline);
 
   // DataTransfer joules per component.
   double cpu = 0.0, mcu = 0.0, physical = 0.0, other = 0.0;

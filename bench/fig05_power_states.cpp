@@ -6,17 +6,13 @@ using namespace iotsim;
 
 namespace {
 
-void show(const char* title, core::Scheme scheme) {
-  core::Scenario sc;
-  sc.app_ids = {apps::AppId::kA2StepCounter};
-  sc.scheme = scheme;
-  sc.windows = 2;
-  sc.record_power_trace = true;
-  const auto r = core::run_scenario(sc);
+void show(bench::Session& session, const char* title, core::Scheme scheme) {
+  const auto r = session.run({apps::AppId::kA2StepCounter}, scheme, /*trace=*/true);
 
   std::cout << "--- " << title << " ---\n";
   std::cout << r.power_trace->render_timeline(
-      sim::SimTime::origin(), sim::SimTime::origin() + sim::Duration::sec(2), 100);
+      sim::SimTime::origin(),
+      sim::SimTime::origin() + sim::Duration::sec(session.windows()), 100);
 
   // Quantify the CPU sleep share over the span (paper: 93% asleep under
   // Batching).
@@ -34,11 +30,17 @@ void show(const char* title, core::Scheme scheme) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session{
+      bench::parse_options(argc, argv, bench::Options{.jobs = 0, .windows = 2})};
   std::cout << "=== Fig. 5: power-state timelines, step counter ===\n";
   std::cout << "(power ramp per row: ' ' lowest … '#' highest)\n\n";
-  show("(a) Baseline — CPU active the whole time", core::Scheme::kBaseline);
-  show("(b) Batching — CPU sleeps during collection, one bulk transfer",
+  session.prefetch({
+      session.scenario({apps::AppId::kA2StepCounter}, core::Scheme::kBaseline, true),
+      session.scenario({apps::AppId::kA2StepCounter}, core::Scheme::kBatching, true),
+  });
+  show(session, "(a) Baseline — CPU active the whole time", core::Scheme::kBaseline);
+  show(session, "(b) Batching — CPU sleeps during collection, one bulk transfer",
        core::Scheme::kBatching);
   return 0;
 }

@@ -5,18 +5,25 @@
 
 using namespace iotsim;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session{bench::parse_options(argc, argv)};
   std::cout << "=== Fig. 6: per-app memory usage and MIPS ===\n\n";
+
+  std::vector<core::Scenario> sweep;
+  for (auto id : apps::kLightweightApps) {
+    sweep.push_back(session.scenario({id}, core::Scheme::kBaseline));
+  }
+  session.prefetch(sweep);
 
   trace::TablePrinter t{{"App", "Heap (KB)", "Stack (B)", "MIPS", "Paper MIPS"}};
   double heap_sum = 0.0, stack_sum = 0.0, mips_sum = 0.0;
   trace::BarChart mips_chart{"MIPS"};
   for (auto id : apps::kLightweightApps) {
-    const auto r = bench::run({id}, core::Scheme::kBaseline);
+    const auto r = session.run({id}, core::Scheme::kBaseline);
     const auto& app = r.apps.at(id);
     const double heap_kb = static_cast<double>(app.heap_peak_bytes) / 1024.0;
     const double mips = static_cast<double>(app.instructions) / 1e6 /
-                        static_cast<double>(bench::kDefaultWindows);
+                        static_cast<double>(session.windows());
     heap_sum += heap_kb;
     stack_sum += static_cast<double>(app.stack_peak_bytes);
     mips_sum += mips;

@@ -5,11 +5,16 @@
 
 using namespace iotsim;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session{bench::parse_options(argc, argv)};
   std::cout << "=== Fig. 7: step-counter energy, Baseline vs Batching ===\n\n";
 
-  const auto base = bench::run({apps::AppId::kA2StepCounter}, core::Scheme::kBaseline);
-  const auto batch = bench::run({apps::AppId::kA2StepCounter}, core::Scheme::kBatching);
+  session.prefetch({
+      session.scenario({apps::AppId::kA2StepCounter}, core::Scheme::kBaseline),
+      session.scenario({apps::AppId::kA2StepCounter}, core::Scheme::kBatching),
+  });
+  const auto base = session.run({apps::AppId::kA2StepCounter}, core::Scheme::kBaseline);
+  const auto batch = session.run({apps::AppId::kA2StepCounter}, core::Scheme::kBatching);
 
   auto t = bench::breakdown_table();
   bench::add_breakdown_row(t, "Baseline", bench::breakdown_vs(base, base));
@@ -19,9 +24,9 @@ int main() {
   std::cout << "savings (paper: ~63% for SC): "
             << trace::TablePrinter::pct(batch.energy.savings_vs(base.energy)) << '\n';
   std::cout << "interrupts per window: baseline="
-            << base.interrupts_raised / static_cast<std::uint64_t>(bench::kDefaultWindows)
+            << base.interrupts_raised / static_cast<std::uint64_t>(session.windows())
             << " batching="
-            << batch.interrupts_raised / static_cast<std::uint64_t>(bench::kDefaultWindows)
+            << batch.interrupts_raised / static_cast<std::uint64_t>(session.windows())
             << " (paper: 1000 -> 1)\n";
   return 0;
 }

@@ -5,11 +5,16 @@
 
 using namespace iotsim;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session{bench::parse_options(argc, argv)};
   std::cout << "=== Fig. 8: step-counter timing breakdown (busy ms per window) ===\n\n";
 
-  const auto base = bench::run({apps::AppId::kA2StepCounter}, core::Scheme::kBaseline);
-  const auto com = bench::run({apps::AppId::kA2StepCounter}, core::Scheme::kCom);
+  session.prefetch({
+      session.scenario({apps::AppId::kA2StepCounter}, core::Scheme::kBaseline),
+      session.scenario({apps::AppId::kA2StepCounter}, core::Scheme::kCom),
+  });
+  const auto base = session.run({apps::AppId::kA2StepCounter}, core::Scheme::kBaseline);
+  const auto com = session.run({apps::AppId::kA2StepCounter}, core::Scheme::kCom);
 
   trace::TablePrinter t{{"Scheme", "DataColl (ms)", "Interrupt (ms)", "Transfer (ms)",
                          "Compute (ms)", "Total (ms)"}};

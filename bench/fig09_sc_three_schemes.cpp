@@ -5,12 +5,18 @@
 
 using namespace iotsim;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session{bench::parse_options(argc, argv)};
   std::cout << "=== Fig. 9: step counter under all three single-app schemes ===\n\n";
 
-  const auto base = bench::run({apps::AppId::kA2StepCounter}, core::Scheme::kBaseline);
-  const auto batch = bench::run({apps::AppId::kA2StepCounter}, core::Scheme::kBatching);
-  const auto com = bench::run({apps::AppId::kA2StepCounter}, core::Scheme::kCom);
+  session.prefetch({
+      session.scenario({apps::AppId::kA2StepCounter}, core::Scheme::kBaseline),
+      session.scenario({apps::AppId::kA2StepCounter}, core::Scheme::kBatching),
+      session.scenario({apps::AppId::kA2StepCounter}, core::Scheme::kCom),
+  });
+  const auto base = session.run({apps::AppId::kA2StepCounter}, core::Scheme::kBaseline);
+  const auto batch = session.run({apps::AppId::kA2StepCounter}, core::Scheme::kBatching);
+  const auto com = session.run({apps::AppId::kA2StepCounter}, core::Scheme::kCom);
 
   auto t = bench::breakdown_table();
   bench::add_breakdown_row(t, "Baseline", bench::breakdown_vs(base, base));

@@ -5,8 +5,18 @@
 
 using namespace iotsim;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session{bench::parse_options(argc, argv)};
   std::cout << "=== Fig. 10: A1-A10 under Baseline / Batching / COM ===\n\n";
+
+  // The whole sweep up front, so --jobs=N fans the 30 scenarios out.
+  const core::Scheme schemes[] = {core::Scheme::kBaseline, core::Scheme::kBatching,
+                                  core::Scheme::kCom};
+  std::vector<core::Scenario> sweep;
+  for (auto id : apps::kLightweightApps) {
+    for (auto scheme : schemes) sweep.push_back(session.scenario({id}, scheme));
+  }
+  session.prefetch(sweep);
 
   auto t = bench::breakdown_table("App/Scheme");
   trace::CsvWriter csv{{"app", "scheme", "dc_pct", "irq_pct", "dt_pct", "comp_pct", "idle_pct",
@@ -14,9 +24,9 @@ int main() {
   double batch_savings = 0.0, com_savings = 0.0;
 
   for (auto id : apps::kLightweightApps) {
-    const auto base = bench::run({id}, core::Scheme::kBaseline);
-    const auto batch = bench::run({id}, core::Scheme::kBatching);
-    const auto com = bench::run({id}, core::Scheme::kCom);
+    const auto base = session.run({id}, core::Scheme::kBaseline);
+    const auto batch = session.run({id}, core::Scheme::kBatching);
+    const auto com = session.run({id}, core::Scheme::kCom);
     batch_savings += batch.energy.savings_vs(base.energy);
     com_savings += com.energy.savings_vs(base.energy);
 

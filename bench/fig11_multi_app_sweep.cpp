@@ -6,15 +6,26 @@
 
 using namespace iotsim;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session{bench::parse_options(argc, argv)};
   std::cout << "=== Fig. 11: 14 sensor-sharing combinations ===\n\n";
+
+  // 14 combos × 3 schemes = 42 independent scenarios — the poster child for
+  // --jobs fan-out.
+  const core::Scheme schemes[] = {core::Scheme::kBaseline, core::Scheme::kBeam,
+                                  core::Scheme::kBcom};
+  std::vector<core::Scenario> sweep;
+  for (const auto& combo : bench::fig11_combos()) {
+    for (auto scheme : schemes) sweep.push_back(session.scenario(combo, scheme));
+  }
+  session.prefetch(sweep);
 
   trace::TablePrinter t{{"Combo", "Baseline (J)", "BEAM sav", "BCOM sav", "Base irq", "BEAM irq"}};
   double beam_sum = 0.0, bcom_sum = 0.0;
   for (const auto& combo : bench::fig11_combos()) {
-    const auto base = bench::run(combo, core::Scheme::kBaseline);
-    const auto beam = bench::run(combo, core::Scheme::kBeam);
-    const auto bcom = bench::run(combo, core::Scheme::kBcom);
+    const auto base = session.run(combo, core::Scheme::kBaseline);
+    const auto beam = session.run(combo, core::Scheme::kBeam);
+    const auto bcom = session.run(combo, core::Scheme::kBcom);
     const double beam_sav = beam.energy.savings_vs(base.energy);
     const double bcom_sav = bcom.energy.savings_vs(base.energy);
     beam_sum += beam_sav;

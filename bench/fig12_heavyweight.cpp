@@ -9,23 +9,27 @@ using apps::AppId;
 
 namespace {
 
-void scenario_block(const char* title, const std::vector<AppId>& ids, bool with_beam) {
+std::vector<std::pair<std::string, core::Scheme>> scheme_list(bool with_beam) {
+  std::vector<std::pair<std::string, core::Scheme>> schemes;
+  if (with_beam) schemes.emplace_back("BEAM", core::Scheme::kBeam);
+  schemes.emplace_back("Batching", core::Scheme::kBatching);
+  if (with_beam) schemes.emplace_back("BCOM", core::Scheme::kBcom);
+  return schemes;
+}
+
+void scenario_block(bench::Session& session, const char* title, const std::vector<AppId>& ids,
+                    bool with_beam) {
   std::cout << "--- " << title << " ---\n";
-  const auto base = bench::run(ids, core::Scheme::kBaseline);
+  const auto base = session.run(ids, core::Scheme::kBaseline);
 
   auto t = bench::breakdown_table();
   bench::add_breakdown_row(t, "Baseline", bench::breakdown_vs(base, base));
   using TP = trace::TablePrinter;
 
-  std::vector<std::pair<std::string, core::Scheme>> schemes;
-  if (with_beam) schemes.emplace_back("BEAM", core::Scheme::kBeam);
-  schemes.emplace_back("Batching", core::Scheme::kBatching);
-  if (with_beam) schemes.emplace_back("BCOM", core::Scheme::kBcom);
-
   std::cout.flush();
   std::vector<std::string> savings;
-  for (const auto& [name, scheme] : schemes) {
-    const auto r = bench::run(ids, scheme);
+  for (const auto& [name, scheme] : scheme_list(with_beam)) {
+    const auto r = session.run(ids, scheme);
     bench::add_breakdown_row(t, name, bench::breakdown_vs(r, base));
     savings.push_back(name + "=" + std::string{TP::pct(r.energy.savings_vs(base.energy))});
   }
@@ -44,18 +48,41 @@ void scenario_block(const char* title, const std::vector<AppId>& ids, bool with_
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session{bench::parse_options(argc, argv)};
   std::cout << "=== Fig. 12: heavy-weight (A11 speech-to-text) scenarios ===\n";
   std::cout << "A11: 4683 MIPS, 1.43 GB model -> not offloadable (planner says: ";
   core::OffloadPlanner planner{hw::default_hub_spec()};
   const auto plan = planner.plan({AppId::kA11SpeechToText});
   std::cout << plan.decisions.at(AppId::kA11SpeechToText).reason << ")\n\n";
 
-  scenario_block("(a) A11 alone  [paper: Batching saves ~5%]", {AppId::kA11SpeechToText}, false);
-  scenario_block("(b) A11+A6  [paper: BEAM 2%, Batching 7%, BCOM 9%]",
-                 {AppId::kA11SpeechToText, AppId::kA6Dropbox}, true);
-  scenario_block("(c) A11+A6+A1  [paper: BEAM 2%, Batching 8%, BCOM 10%]",
-                 {AppId::kA11SpeechToText, AppId::kA6Dropbox, AppId::kA1CoapServer}, true);
+  struct Block {
+    const char* title;
+    std::vector<AppId> ids;
+    bool with_beam;
+  };
+  const Block blocks[] = {
+      {"(a) A11 alone  [paper: Batching saves ~5%]", {AppId::kA11SpeechToText}, false},
+      {"(b) A11+A6  [paper: BEAM 2%, Batching 7%, BCOM 9%]",
+       {AppId::kA11SpeechToText, AppId::kA6Dropbox},
+       true},
+      {"(c) A11+A6+A1  [paper: BEAM 2%, Batching 8%, BCOM 10%]",
+       {AppId::kA11SpeechToText, AppId::kA6Dropbox, AppId::kA1CoapServer},
+       true},
+  };
+
+  std::vector<core::Scenario> sweep;
+  for (const auto& block : blocks) {
+    sweep.push_back(session.scenario(block.ids, core::Scheme::kBaseline));
+    for (const auto& [name, scheme] : scheme_list(block.with_beam)) {
+      sweep.push_back(session.scenario(block.ids, scheme));
+    }
+  }
+  session.prefetch(sweep);
+
+  for (const auto& block : blocks) {
+    scenario_block(session, block.title, block.ids, block.with_beam);
+  }
 
   std::cout << "Takeaway (§IV-E3): COM suits light apps, Batching heavy ones; under\n"
                "BCOM they compose — the light apps offload, the heavy one batches.\n";

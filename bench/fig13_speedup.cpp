@@ -5,15 +5,23 @@
 
 using namespace iotsim;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session{bench::parse_options(argc, argv)};
   std::cout << "=== Fig. 13: COM speedup vs baseline, per app ===\n\n";
+
+  std::vector<core::Scenario> sweep;
+  for (auto id : apps::kLightweightApps) {
+    sweep.push_back(session.scenario({id}, core::Scheme::kBaseline));
+    sweep.push_back(session.scenario({id}, core::Scheme::kCom));
+  }
+  session.prefetch(sweep);
 
   trace::TablePrinter t{{"App", "Baseline busy (ms)", "COM busy (ms)", "Speedup"}};
   trace::BarChart chart{"x"};
   double sum = 0.0;
   for (auto id : apps::kLightweightApps) {
-    const auto base = bench::run({id}, core::Scheme::kBaseline);
-    const auto com = bench::run({id}, core::Scheme::kCom);
+    const auto base = session.run({id}, core::Scheme::kBaseline);
+    const auto com = session.run({id}, core::Scheme::kCom);
     const double base_ms = base.apps.at(id).busy_per_window.total().to_ms();
     const double com_ms = com.apps.at(id).busy_per_window.total().to_ms();
     const double speedup = base_ms / com_ms;

@@ -17,14 +17,16 @@ using apps::AppId;
 namespace {
 
 core::Scenario make_scenario(core::Scheme scheme, int windows, double irregular_prob) {
-  core::Scenario sc;
-  sc.app_ids = {AppId::kA2StepCounter, AppId::kA8Heartbeat};
-  sc.scheme = scheme;
-  sc.windows = windows;
-  sc.world.heart_bpm = 76.0;
-  sc.world.heart_irregular_prob = irregular_prob;
-  sc.world.walking_cadence_hz = 1.7;
-  return sc;
+  sensors::WorldConfig world;
+  world.heart_bpm = 76.0;
+  world.heart_irregular_prob = irregular_prob;
+  world.walking_cadence_hz = 1.7;
+  return core::Scenario::builder()
+      .apps({AppId::kA2StepCounter, AppId::kA8Heartbeat})
+      .scheme(scheme)
+      .windows(windows)
+      .world(world)
+      .build();
 }
 
 }  // namespace

@@ -20,10 +20,11 @@ int main(int argc, char** argv) {
   const core::Scheme schemes[] = {core::Scheme::kBaseline, core::Scheme::kBatching,
                                   core::Scheme::kCom};
   for (int i = 0; i < 3; ++i) {
-    core::Scenario scenario;
-    scenario.app_ids = {apps::AppId::kA2StepCounter};
-    scenario.scheme = schemes[i];
-    scenario.windows = windows;
+    const auto scenario = core::Scenario::builder()
+                              .apps({apps::AppId::kA2StepCounter})
+                              .scheme(schemes[i])
+                              .windows(windows)
+                              .build();
     results[i] = core::run_scenario(scenario);
   }
 

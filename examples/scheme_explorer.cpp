@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
   const auto scheme = parse_scheme(argv[1]);
   if (!scheme) return usage();
 
-  core::Scenario sc;
+  std::vector<apps::AppId> ids;
   std::stringstream apps_arg{argv[2]};
   std::string code;
   while (std::getline(apps_arg, code, ',')) {
@@ -59,23 +59,35 @@ int main(int argc, char** argv) {
       std::cerr << "unknown app '" << code << "'\n";
       return usage();
     }
-    sc.app_ids.push_back(*id);
+    ids.push_back(*id);
   }
-  if (sc.app_ids.empty()) return usage();
-  sc.scheme = *scheme;
   bool json_mode = false;
-  sc.windows = 5;
+  int windows = 5;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       json_mode = true;
     } else {
-      sc.windows = std::atoi(argv[i]);
+      windows = std::atoi(argv[i]);
     }
   }
   // Give every channel something to sense.
-  sc.world.quakes = {{1.4, 0.3, 1.8}};
-  sc.world.utterances = {{0.3, 0}, {1.5, 3}, {2.6, 5}};
+  sensors::WorldConfig world;
+  world.quakes = {{1.4, 0.3, 1.8}};
+  world.utterances = {{0.3, 0}, {1.5, 3}, {2.6, 5}};
+
+  const auto sc = core::Scenario::builder()
+                      .apps(ids)
+                      .scheme(*scheme)
+                      .windows(windows)
+                      .world(world)
+                      .build();
+  // User-supplied app lists and window counts can be bogus; report every
+  // problem the validator finds instead of running a half-formed scenario.
+  if (const auto errors = sc.validate(); !errors.empty()) {
+    for (const auto& e : errors) std::cerr << "invalid scenario: " << to_string(e) << '\n';
+    return usage();
+  }
 
   const auto r = core::run_scenario(sc);
 

@@ -16,14 +16,16 @@ using apps::AppId;
 namespace {
 
 core::Scenario make_scenario(core::Scheme scheme, int windows) {
-  core::Scenario sc;
-  sc.app_ids = {AppId::kA2StepCounter, AppId::kA4M2x, AppId::kA5Blynk, AppId::kA7Earthquake};
-  sc.scheme = scheme;
-  sc.windows = windows;
   // A quiet house, then a tremor in the third window.
-  sc.world.quakes = {{2.3, 0.4, 2.2}};
-  sc.world.walking_cadence_hz = 1.8;
-  return sc;
+  sensors::WorldConfig world;
+  world.quakes = {{2.3, 0.4, 2.2}};
+  world.walking_cadence_hz = 1.8;
+  return core::Scenario::builder()
+      .apps({AppId::kA2StepCounter, AppId::kA4M2x, AppId::kA5Blynk, AppId::kA7Earthquake})
+      .scheme(scheme)
+      .windows(windows)
+      .world(world)
+      .build();
 }
 
 }  // namespace

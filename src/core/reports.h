@@ -9,6 +9,7 @@
 #include "apps/workload_spec.h"
 #include "core/offload_planner.h"
 #include "core/qos.h"
+#include "core/scenario.h"
 #include "core/scheme.h"
 #include "energy/energy_report.h"
 #include "trace/power_trace.h"
@@ -50,6 +51,9 @@ struct AppResult {
 
 struct ScenarioResult {
   Scheme scheme{};
+  /// Non-empty ⇒ the scenario failed Scenario::validate() and never ran;
+  /// every other field is default-initialised.
+  std::vector<ScenarioError> errors;
   energy::EnergyReport energy;
   sim::Duration span;
   std::map<apps::AppId, AppResult> apps;
@@ -64,6 +68,9 @@ struct ScenarioResult {
   std::string qos_summary;
   /// Present when Scenario::record_power_trace was set.
   std::shared_ptr<trace::PowerTrace> power_trace;
+
+  /// True when the scenario validated and actually ran.
+  [[nodiscard]] bool ok() const { return errors.empty(); }
 
   [[nodiscard]] double total_joules() const { return energy.total_joules(); }
   /// Energy per simulated window second — the figure-normalisation basis.

@@ -1,0 +1,47 @@
+#include "core/scenario.h"
+
+#include <cmath>
+#include <set>
+
+namespace iotsim::core {
+
+std::string to_string(const ScenarioError& e) { return e.field + ": " + e.message; }
+
+std::vector<ScenarioError> Scenario::validate() const {
+  std::vector<ScenarioError> errors;
+
+  if (app_ids.empty()) {
+    errors.push_back({"app_ids", "at least one app is required"});
+  } else {
+    std::set<apps::AppId> seen;
+    for (apps::AppId id : app_ids) {
+      if (!seen.insert(id).second) {
+        errors.push_back({"app_ids", "duplicate app " + std::string{apps::code_of(id)} +
+                                         " (each app may appear once)"});
+      }
+    }
+  }
+
+  if (windows <= 0) {
+    errors.push_back({"windows", "must be positive (got " + std::to_string(windows) + ")"});
+  }
+  if (batch_flushes_per_window < 1) {
+    errors.push_back({"batch_flushes_per_window",
+                      "must be >= 1 (got " + std::to_string(batch_flushes_per_window) + ")"});
+  }
+  if (!(mcu_speed_factor > 0.0) || !std::isfinite(mcu_speed_factor)) {
+    errors.push_back({"mcu_speed_factor",
+                      "must be a positive finite factor (got " +
+                          std::to_string(mcu_speed_factor) + ")"});
+  }
+  if (world.sensor_fault_prob < 0.0 || world.sensor_fault_prob > 1.0 ||
+      !std::isfinite(world.sensor_fault_prob)) {
+    errors.push_back({"world.sensor_fault_prob",
+                      "must be a probability in [0, 1] (got " +
+                          std::to_string(world.sensor_fault_prob) + ")"});
+  }
+
+  return errors;
+}
+
+}  // namespace iotsim::core

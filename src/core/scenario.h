@@ -1,7 +1,26 @@
 // Scenario description: which apps, which scheme, how long, which world.
+//
+// Two ways to construct one:
+//  * the raw aggregate (kept for back-compat): fill the fields directly;
+//  * the fluent builder (preferred):
+//      auto sc = Scenario::builder()
+//                    .apps({apps::AppId::kA2StepCounter})
+//                    .scheme(Scheme::kCom)
+//                    .windows(10)
+//                    .seed(7)
+//                    .build();
+// Either way, validate() reports structured errors instead of letting a
+// nonsense scenario run; run_scenario() calls it and surfaces failures in
+// ScenarioResult::errors.
+//
+// NOTE: every field of Scenario (and of the HubSpec / WorldConfig it embeds)
+// participates in the sweep memo's content hash — when adding a field here,
+// extend scenario_key() in core/sweep.cpp as well.
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "apps/workload_spec.h"
@@ -10,6 +29,16 @@
 #include "sensors/sensor_catalog.h"
 
 namespace iotsim::core {
+
+/// One structured validation failure: which field is wrong and why.
+struct ScenarioError {
+  std::string field;    // e.g. "windows"
+  std::string message;  // e.g. "must be positive (got -3)"
+};
+
+[[nodiscard]] std::string to_string(const ScenarioError& e);
+
+class ScenarioBuilder;
 
 struct Scenario {
   std::vector<apps::AppId> app_ids;
@@ -30,6 +59,68 @@ struct Scenario {
   /// Scales every app's MCU kernel time (COM sensitivity ablation:
   /// >1 = slower MCU, <1 = faster).
   double mcu_speed_factor = 1.0;
+
+  /// Entry point of the fluent construction API.
+  [[nodiscard]] static ScenarioBuilder builder();
+
+  /// Checks the scenario for configuration errors (empty app list,
+  /// non-positive windows, …). Empty result ⇒ the scenario is runnable.
+  [[nodiscard]] std::vector<ScenarioError> validate() const;
 };
+
+/// Fluent construction of a Scenario. Every setter returns *this, so calls
+/// chain; build() hands back the configured value (validation stays a
+/// separate, explicit step — run_scenario() always performs it).
+class ScenarioBuilder {
+ public:
+  ScenarioBuilder& apps(std::vector<apps::AppId> ids) {
+    sc_.app_ids = std::move(ids);
+    return *this;
+  }
+  /// Appends one app (handy for incrementally stacked scenarios).
+  ScenarioBuilder& app(apps::AppId id) {
+    sc_.app_ids.push_back(id);
+    return *this;
+  }
+  ScenarioBuilder& scheme(Scheme s) {
+    sc_.scheme = s;
+    return *this;
+  }
+  ScenarioBuilder& windows(int n) {
+    sc_.windows = n;
+    return *this;
+  }
+  ScenarioBuilder& seed(std::uint64_t s) {
+    sc_.seed = s;
+    return *this;
+  }
+  ScenarioBuilder& world(sensors::WorldConfig w) {
+    sc_.world = std::move(w);
+    return *this;
+  }
+  ScenarioBuilder& hub(hw::HubSpec h) {
+    sc_.hub = h;
+    return *this;
+  }
+  ScenarioBuilder& record_power_trace(bool on = true) {
+    sc_.record_power_trace = on;
+    return *this;
+  }
+  ScenarioBuilder& batch_flushes_per_window(int flushes) {
+    sc_.batch_flushes_per_window = flushes;
+    return *this;
+  }
+  ScenarioBuilder& mcu_speed_factor(double factor) {
+    sc_.mcu_speed_factor = factor;
+    return *this;
+  }
+
+  [[nodiscard]] Scenario build() const { return sc_; }
+
+ private:
+  Scenario sc_;
+};
+
+inline ScenarioBuilder Scenario::builder() { return ScenarioBuilder{}; }
 
 }  // namespace iotsim::core

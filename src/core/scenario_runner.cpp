@@ -152,7 +152,13 @@ Task<void> ScenarioRunner::stream_cpu_handler(Build& b, SensorStream* st) {
 }
 
 ScenarioResult ScenarioRunner::run() {
-  assert(!scenario_.app_ids.empty());
+  if (auto errors = scenario_.validate(); !errors.empty()) {
+    ScenarioResult invalid;
+    invalid.scheme = scenario_.scheme;
+    invalid.errors = std::move(errors);
+    invalid.qos_met = false;
+    return invalid;
+  }
   Build b{scenario_};
 
   // Offload plan (consulted by kCom / kBcom).

@@ -18,7 +18,9 @@ class ScenarioRunner {
  public:
   explicit ScenarioRunner(Scenario scenario) : scenario_{std::move(scenario)} {}
 
-  /// Runs the whole scenario; every call builds a fresh simulation.
+  /// Runs the whole scenario; every call builds a fresh simulation. If the
+  /// scenario fails Scenario::validate(), nothing runs and the returned
+  /// result carries the errors.
   [[nodiscard]] ScenarioResult run();
 
  private:

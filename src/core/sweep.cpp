@@ -1,0 +1,242 @@
+#include "core/sweep.h"
+
+#include <bit>
+#include <cstring>
+#include <exception>
+#include <limits>
+#include <span>
+#include <thread>
+
+#include "codecs/util/checksum.h"
+#include "core/scenario_runner.h"
+#include "core/thread_pool.h"
+
+namespace iotsim::core {
+
+namespace {
+
+/// Appends primitives to a byte buffer in a fixed, platform-independent
+/// layout (little-endian integers, IEEE-754 bit patterns for doubles).
+class ByteSink {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) bytes_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void i32(std::int32_t v) { u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(v))); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void size(std::size_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void dur(sim::Duration d) { i64(d.count_ns()); }
+
+  [[nodiscard]] std::string take() && { return std::move(bytes_); }
+
+ private:
+  std::string bytes_;
+};
+
+ScenarioResult invalid_result(const Scenario& sc, std::vector<ScenarioError> errors) {
+  ScenarioResult r;
+  r.scheme = sc.scheme;
+  r.errors = std::move(errors);
+  r.qos_met = false;
+  return r;
+}
+
+}  // namespace
+
+std::string scenario_key(const Scenario& sc) {
+  // Keep in sync with the fields of Scenario, sensors::WorldConfig,
+  // hw::HubSpec and the energy::*PowerSpec structs (see the note in
+  // core/scenario.h). A version tag guards persisted keys against layout
+  // drift.
+  ByteSink s;
+  s.u64(0x696F7453696D3031ull);  // "iotSim01"
+
+  s.size(sc.app_ids.size());
+  for (apps::AppId id : sc.app_ids) s.u8(static_cast<std::uint8_t>(id));
+  s.u8(static_cast<std::uint8_t>(sc.scheme));
+  s.i32(sc.windows);
+  s.u64(sc.seed);
+  s.u8(sc.record_power_trace ? 1 : 0);
+  s.i32(sc.batch_flushes_per_window);
+  s.f64(sc.mcu_speed_factor);
+
+  // --- world ---
+  const auto& w = sc.world;
+  s.size(w.quakes.size());
+  for (const auto& q : w.quakes) {
+    s.f64(q.start_s);
+    s.f64(q.duration_s);
+    s.f64(q.magnitude);
+  }
+  s.size(w.utterances.size());
+  for (const auto& u : w.utterances) {
+    s.f64(u.start_s);
+    s.i32(u.word_id);
+  }
+  s.f64(w.heart_bpm);
+  s.f64(w.heart_irregular_prob);
+  s.f64(w.walking_cadence_hz);
+  s.f64(w.sensor_fault_prob);
+
+  // --- hub ---
+  const auto& h = sc.hub;
+  s.f64(h.cpu.active_w);
+  s.f64(h.cpu.busy_w);
+  s.f64(h.cpu.light_sleep_w);
+  s.f64(h.cpu.deep_sleep_w);
+  s.f64(h.cpu.transition_w);
+  s.dur(h.cpu.light_wake_latency);
+  s.dur(h.cpu.deep_wake_latency);
+  s.f64(h.mcu.active_w);
+  s.f64(h.mcu.sleep_w);
+  s.f64(h.mcu.transition_w);
+  s.dur(h.mcu.wake_latency);
+  for (const auto& bus : {h.pio_bus, h.link_bus}) {
+    s.f64(bus.active_w);
+    s.f64(bus.idle_w);
+  }
+  for (const auto& nic : {h.main_nic, h.mcu_nic}) {
+    s.f64(nic.tx_w);
+    s.f64(nic.rx_w);
+    s.f64(nic.idle_w);
+    s.f64(nic.bytes_per_second);
+    s.dur(nic.tail);
+  }
+  s.f64(h.main_board_base_w);
+  s.f64(h.mcu_board_base_w);
+  s.u8(h.dma_enabled ? 1 : 0);
+  s.dur(h.dma_setup);
+  s.dur(h.transfer_fixed_overhead);
+  s.dur(h.transfer_per_byte);
+  s.dur(h.interrupt_raise);
+  s.dur(h.interrupt_dispatch);
+  s.size(h.mcu_ram_bytes);
+  s.size(h.mcu_firmware_reserved);
+  s.dur(h.mcu_buffer_store);
+  s.f64(h.cpu_nominal_mips);
+  s.f64(h.mcu_nominal_mips);
+
+  return std::move(s).take();
+}
+
+std::uint32_t scenario_fingerprint(const Scenario& sc) {
+  const std::string key = scenario_key(sc);
+  return codecs::util::crc32(
+      std::span{reinterpret_cast<const std::uint8_t*>(key.data()), key.size()});
+}
+
+int SweepRunner::jobs() const {
+  if (opts_.jobs > 0) return opts_.jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+std::vector<ScenarioResult> SweepRunner::run(const std::vector<Scenario>& scenarios) {
+  const std::size_t n = scenarios.size();
+  stats_.scheduled += n;
+
+  constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+  std::vector<std::shared_ptr<const ScenarioResult>> slots(n);
+  std::vector<std::size_t> alias_of(n, kNone);  // duplicate → producing index
+  std::unordered_map<std::string, std::size_t> producer;  // key → producing index
+  std::vector<std::size_t> to_run;
+  to_run.reserve(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (auto errors = scenarios[i].validate(); !errors.empty()) {
+      ++stats_.invalid;
+      slots[i] = std::make_shared<const ScenarioResult>(
+          invalid_result(scenarios[i], std::move(errors)));
+      continue;
+    }
+    if (!opts_.memoize) {
+      to_run.push_back(i);
+      continue;
+    }
+    std::string key = scenario_key(scenarios[i]);
+    if (auto it = cache_.find(key); it != cache_.end()) {
+      ++stats_.cache_hits;
+      slots[i] = it->second;
+      continue;
+    }
+    if (auto it = producer.find(key); it != producer.end()) {
+      ++stats_.cache_hits;
+      alias_of[i] = it->second;
+      continue;
+    }
+    producer.emplace(std::move(key), i);
+    to_run.push_back(i);
+  }
+
+  // Fan the distinct scenarios out. Each job writes only its own slot, so
+  // the result order is the input order regardless of scheduling; a scenario
+  // is simulated by a self-contained Simulator seeded from its own content,
+  // which is what makes the numbers bit-identical at any thread count.
+  if (!to_run.empty()) {
+    std::vector<std::exception_ptr> failures(to_run.size());
+    {
+      ThreadPool pool{static_cast<int>(
+          std::min<std::size_t>(static_cast<std::size_t>(jobs()), to_run.size()))};
+      for (std::size_t k = 0; k < to_run.size(); ++k) {
+        const std::size_t idx = to_run[k];
+        pool.submit([&scenarios, &slots, &failures, k, idx] {
+          try {
+            slots[idx] =
+                std::make_shared<const ScenarioResult>(run_scenario(scenarios[idx]));
+          } catch (...) {
+            failures[k] = std::current_exception();
+          }
+        });
+      }
+      pool.wait_idle();
+    }
+    for (auto& failure : failures) {
+      if (failure) std::rethrow_exception(failure);
+    }
+    stats_.executed += to_run.size();
+  }
+
+  if (opts_.memoize) {
+    for (const auto& [key, idx] : producer) cache_.emplace(key, slots[idx]);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (alias_of[i] != kNone) slots[i] = slots[alias_of[i]];
+    }
+  }
+
+  std::vector<ScenarioResult> results;
+  results.reserve(n);
+  for (const auto& slot : slots) results.push_back(*slot);
+  return results;
+}
+
+ScenarioResult SweepRunner::run_one(const Scenario& scenario) {
+  ++stats_.scheduled;
+  if (auto errors = scenario.validate(); !errors.empty()) {
+    ++stats_.invalid;
+    return invalid_result(scenario, std::move(errors));
+  }
+  if (!opts_.memoize) {
+    ++stats_.executed;
+    return run_scenario(scenario);
+  }
+  std::string key = scenario_key(scenario);
+  if (auto it = cache_.find(key); it != cache_.end()) {
+    ++stats_.cache_hits;
+    return *it->second;
+  }
+  auto result = std::make_shared<const ScenarioResult>(run_scenario(scenario));
+  ++stats_.executed;
+  cache_.emplace(std::move(key), result);
+  return *result;
+}
+
+std::vector<ScenarioResult> run_sweep(const std::vector<Scenario>& scenarios,
+                                      SweepOptions opts) {
+  SweepRunner runner{opts};
+  return runner.run(scenarios);
+}
+
+}  // namespace iotsim::core

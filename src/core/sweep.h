@@ -1,0 +1,80 @@
+// The parallel sweep engine: runs a batch of Scenarios across N worker
+// threads and memoizes results behind a content hash of the scenario.
+//
+// The paper's headline results (Figs. 7–13, the ablations) are all sweeps of
+// independent run_scenario() calls. Each scenario owns its own Simulator, so
+// runs are embarrassingly parallel; the engine guarantees
+//  * ordered collection — results come back in input order;
+//  * bit-identical numbers at any thread count — every scenario is seeded by
+//    its own content, never by scheduling order;
+//  * one execution per distinct scenario — duplicates (the classic repeated
+//    Baseline reference run) are served from the memo.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/reports.h"
+#include "core/scenario.h"
+
+namespace iotsim::core {
+
+/// Canonical byte serialisation of a Scenario — two scenarios produce the
+/// same key iff every semantically relevant field matches. Used as the exact
+/// memo key (no collision risk: the full serialisation is compared).
+[[nodiscard]] std::string scenario_key(const Scenario& sc);
+
+/// CRC-32 digest of scenario_key() — a compact fingerprint for logs and
+/// cache diagnostics (reuses codecs/util/checksum).
+[[nodiscard]] std::uint32_t scenario_fingerprint(const Scenario& sc);
+
+struct SweepOptions {
+  /// Worker threads; <= 0 ⇒ std::thread::hardware_concurrency().
+  int jobs = 0;
+  /// Reuse results for content-identical scenarios (across run() calls too).
+  bool memoize = true;
+};
+
+struct SweepStats {
+  std::uint64_t scheduled = 0;   // scenarios handed to the runner
+  std::uint64_t executed = 0;    // scenarios actually simulated
+  std::uint64_t cache_hits = 0;  // served from the memo (or deduplicated)
+  std::uint64_t invalid = 0;     // failed Scenario::validate(), never ran
+};
+
+class SweepRunner {
+ public:
+  SweepRunner() = default;
+  explicit SweepRunner(SweepOptions opts) : opts_{opts} {}
+
+  /// Runs every scenario, fanning distinct ones out across the worker pool.
+  /// Results are returned in input order; invalid scenarios yield a result
+  /// whose `errors` is non-empty (they never execute).
+  [[nodiscard]] std::vector<ScenarioResult> run(const std::vector<Scenario>& scenarios);
+
+  /// Runs one scenario inline on the calling thread (memoized like run()).
+  [[nodiscard]] ScenarioResult run_one(const Scenario& scenario);
+
+  [[nodiscard]] const SweepStats& stats() const { return stats_; }
+  /// The resolved worker count run() will use.
+  [[nodiscard]] int jobs() const;
+
+  [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+  void clear_cache() { cache_.clear(); }
+
+ private:
+  SweepOptions opts_;
+  SweepStats stats_;
+  /// scenario_key → immutable result, shared with callers by value-copy.
+  std::unordered_map<std::string, std::shared_ptr<const ScenarioResult>> cache_;
+};
+
+/// Convenience: one-shot parallel sweep.
+[[nodiscard]] std::vector<ScenarioResult> run_sweep(const std::vector<Scenario>& scenarios,
+                                                    SweepOptions opts = {});
+
+}  // namespace iotsim::core

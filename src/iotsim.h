@@ -83,3 +83,5 @@
 #include "core/scenario.h"
 #include "core/scenario_runner.h"
 #include "core/scheme.h"
+#include "core/sweep.h"
+#include "core/thread_pool.h"

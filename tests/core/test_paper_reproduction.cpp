@@ -11,11 +11,8 @@ namespace {
 using apps::AppId;
 
 ScenarioResult run(std::vector<AppId> ids, Scheme scheme, int windows = 3) {
-  Scenario sc;
-  sc.app_ids = std::move(ids);
-  sc.scheme = scheme;
-  sc.windows = windows;
-  return run_scenario(sc);
+  return run_scenario(
+      Scenario::builder().apps(std::move(ids)).scheme(scheme).windows(windows).build());
 }
 
 // ---- Fig. 1: the 9.5× idle ratio (band: 8–13×) ----------------------------

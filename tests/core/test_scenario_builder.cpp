@@ -1,0 +1,135 @@
+// ScenarioBuilder fluency and Scenario::validate() structured errors.
+#include <gtest/gtest.h>
+
+#include "core/scenario_runner.h"
+#include "core/sweep.h"
+
+namespace iotsim::core {
+namespace {
+
+using apps::AppId;
+
+TEST(ScenarioBuilder, DefaultsMatchRawAggregate) {
+  const Scenario raw;
+  const auto built = Scenario::builder().build();
+  EXPECT_EQ(scenario_key(raw), scenario_key(built));
+}
+
+TEST(ScenarioBuilder, SettersMapOntoFields) {
+  sensors::WorldConfig world;
+  world.heart_bpm = 91.0;
+  auto hub = hw::default_hub_spec();
+  hub.dma_enabled = true;
+
+  const auto sc = Scenario::builder()
+                      .apps({AppId::kA2StepCounter, AppId::kA7Earthquake})
+                      .scheme(Scheme::kBcom)
+                      .windows(10)
+                      .seed(7)
+                      .world(world)
+                      .hub(hub)
+                      .record_power_trace()
+                      .batch_flushes_per_window(4)
+                      .mcu_speed_factor(2.5)
+                      .build();
+
+  EXPECT_EQ(sc.app_ids, (std::vector<AppId>{AppId::kA2StepCounter, AppId::kA7Earthquake}));
+  EXPECT_EQ(sc.scheme, Scheme::kBcom);
+  EXPECT_EQ(sc.windows, 10);
+  EXPECT_EQ(sc.seed, 7u);
+  EXPECT_DOUBLE_EQ(sc.world.heart_bpm, 91.0);
+  EXPECT_TRUE(sc.hub.dma_enabled);
+  EXPECT_TRUE(sc.record_power_trace);
+  EXPECT_EQ(sc.batch_flushes_per_window, 4);
+  EXPECT_DOUBLE_EQ(sc.mcu_speed_factor, 2.5);
+}
+
+TEST(ScenarioBuilder, AppAppendsIncrementally) {
+  const auto sc = Scenario::builder()
+                      .app(AppId::kA1CoapServer)
+                      .app(AppId::kA6Dropbox)
+                      .build();
+  EXPECT_EQ(sc.app_ids, (std::vector<AppId>{AppId::kA1CoapServer, AppId::kA6Dropbox}));
+}
+
+TEST(ScenarioValidate, WellFormedScenarioHasNoErrors) {
+  const auto sc = Scenario::builder().apps({AppId::kA2StepCounter}).build();
+  EXPECT_TRUE(sc.validate().empty());
+}
+
+TEST(ScenarioValidate, EmptyAppListIsAnError) {
+  const auto errors = Scenario::builder().build().validate();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].field, "app_ids");
+}
+
+TEST(ScenarioValidate, DuplicateAppsAreAnError) {
+  const auto sc = Scenario::builder()
+                      .apps({AppId::kA2StepCounter, AppId::kA2StepCounter})
+                      .build();
+  const auto errors = sc.validate();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].field, "app_ids");
+}
+
+TEST(ScenarioValidate, NonPositiveWindows) {
+  const auto errors =
+      Scenario::builder().apps({AppId::kA2StepCounter}).windows(0).build().validate();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].field, "windows");
+}
+
+TEST(ScenarioValidate, BatchFlushesBelowOne) {
+  const auto errors = Scenario::builder()
+                          .apps({AppId::kA2StepCounter})
+                          .batch_flushes_per_window(0)
+                          .build()
+                          .validate();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].field, "batch_flushes_per_window");
+}
+
+TEST(ScenarioValidate, NonPositiveMcuSpeedFactor) {
+  const auto errors = Scenario::builder()
+                          .apps({AppId::kA2StepCounter})
+                          .mcu_speed_factor(0.0)
+                          .build()
+                          .validate();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].field, "mcu_speed_factor");
+}
+
+TEST(ScenarioValidate, FaultProbabilityOutOfRange) {
+  sensors::WorldConfig world;
+  world.sensor_fault_prob = 1.5;
+  const auto errors = Scenario::builder()
+                          .apps({AppId::kA2StepCounter})
+                          .world(world)
+                          .build()
+                          .validate();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].field, "world.sensor_fault_prob");
+}
+
+TEST(ScenarioValidate, MultipleErrorsAccumulate) {
+  const auto errors = Scenario::builder().windows(-3).mcu_speed_factor(-1.0).build().validate();
+  EXPECT_EQ(errors.size(), 3u);  // empty apps + windows + mcu_speed_factor
+}
+
+TEST(ScenarioValidate, ToStringNamesTheField) {
+  const auto errors = Scenario::builder().build().validate();
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(to_string(errors[0]).find("app_ids"), std::string::npos);
+}
+
+TEST(ScenarioValidate, RunScenarioSurfacesErrorsInsteadOfRunning) {
+  const auto r = run_scenario(Scenario::builder().windows(0).build());
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.qos_met);
+  EXPECT_EQ(r.apps.size(), 0u);
+  EXPECT_DOUBLE_EQ(r.total_joules(), 0.0);
+  ASSERT_EQ(r.errors.size(), 2u);  // empty apps + windows
+}
+
+}  // namespace
+}  // namespace iotsim::core

@@ -10,12 +10,12 @@ using apps::AppId;
 
 Scenario make(std::vector<AppId> ids, Scheme scheme, int windows = 2,
               std::uint64_t seed = 42) {
-  Scenario sc;
-  sc.app_ids = std::move(ids);
-  sc.scheme = scheme;
-  sc.windows = windows;
-  sc.seed = seed;
-  return sc;
+  return Scenario::builder()
+      .apps(std::move(ids))
+      .scheme(scheme)
+      .windows(windows)
+      .seed(seed)
+      .build();
 }
 
 // ---- Property 1: energy conservation -------------------------------------
