@@ -1,0 +1,262 @@
+#include "core/hub_runtime.h"
+
+#include <cassert>
+#include <utility>
+
+#include "energy/energy_accountant.h"
+#include "energy/energy_report.h"
+
+namespace iotsim::core {
+
+using energy::Routine;
+using sim::Duration;
+using sim::Task;
+
+HubRuntime::HubRuntime(sim::Simulator& sim, energy::EnergyAccountant& acct, Config cfg)
+    : sim_{sim}, cfg_{std::move(cfg)}, rng_{cfg_.seed} {
+  hub_ = std::make_unique<hw::IotHub>(sim_, acct, cfg_.spec, cfg_.component_scope);
+
+  // Offload plan (consulted by kCom / kBcom).
+  OffloadPlanner planner{hub_->spec()};
+  plan_ = planner.plan(cfg_.app_ids);
+
+  // Decide each app's mode up front. Batching buffers must fit the MCU
+  // RAM; apps that do not fit fall back to per-sample delivery.
+  std::map<apps::AppId, AppMode> modes;
+  for (apps::AppId id : cfg_.app_ids) {
+    AppMode mode = mode_for(id, plan_);
+    if (mode == AppMode::kBatched) {
+      const std::size_t need = apps::spec_of(id).sensor_bytes_per_window();
+      if (!hub_->mcu().reserve_ram(need)) {
+        notes_[id] = "batch buffer does not fit MCU RAM; fell back to per-sample";
+        mode = AppMode::kPerSample;
+      }
+    }
+    modes[id] = mode;
+  }
+  if (cfg_.scheme == Scheme::kCom || cfg_.scheme == Scheme::kBcom) {
+    (void)hub_->mcu().reserve_ram(plan_.mcu_ram_used);
+  }
+
+  // Executors.
+  const AppExecutor::Tuning tuning{cfg_.batch_flushes_per_window, cfg_.mcu_speed_factor};
+  for (apps::AppId id : cfg_.app_ids) {
+    executors_.emplace_back(sim_, *hub_, id, modes[id], cfg_.windows, qos_, mips_, tuning);
+  }
+
+  // Sensors & buses — one physical instance per sensor id (per hub: fleet
+  // hubs each own their physical sensors).
+  for (apps::AppId id : cfg_.app_ids) {
+    for (auto sid : apps::spec_of(id).sensor_ids) {
+      if (!sensors_.contains(sid)) {
+        auto sensor = sensors::make_sensor(sid, rng_, cfg_.world);
+        buses_[sid] = &hub_->add_pio_bus(sensor->spec().id);
+        sensors_[sid] = std::move(sensor);
+      }
+    }
+  }
+}
+
+AppMode HubRuntime::mode_for(apps::AppId id, const OffloadPlan& plan) const {
+  switch (cfg_.scheme) {
+    case Scheme::kBaseline:
+    case Scheme::kBeam:
+      return AppMode::kPerSample;
+    case Scheme::kBatching:
+      return AppMode::kBatched;
+    case Scheme::kCom:
+      // COM where possible; where the MCU cannot host the app the paper's
+      // COM column simply is not applicable — such apps run as baseline.
+      return plan.offloaded(id) ? AppMode::kOffloaded : AppMode::kPerSample;
+    case Scheme::kBcom:
+      return plan.offloaded(id) ? AppMode::kOffloaded : AppMode::kBatched;
+  }
+  return AppMode::kPerSample;
+}
+
+void HubRuntime::start() {
+  // Streams: shared per sensor under BEAM, exclusive per (app, sensor)
+  // otherwise.
+  if (cfg_.scheme == Scheme::kBeam) {
+    std::map<sensors::SensorId, SensorStream*> shared;
+    for (auto& exec : executors_) {
+      for (auto sid : exec.spec().sensor_ids) {
+        auto it = shared.find(sid);
+        if (it == shared.end()) {
+          SensorStream stream;
+          stream.sensor_id = sid;
+          stream.sensor = sensors_[sid].get();
+          stream.bus = buses_[sid];
+          stream.mode = AppMode::kPerSample;
+          stream.subscribers = {&exec};
+          streams_.push_back(std::move(stream));
+          shared[sid] = &streams_.back();
+        } else {
+          it->second->subscribers.push_back(&exec);
+        }
+      }
+    }
+  } else {
+    for (auto& exec : executors_) {
+      for (auto sid : exec.spec().sensor_ids) {
+        SensorStream stream;
+        stream.sensor_id = sid;
+        stream.sensor = sensors_[sid].get();
+        stream.bus = buses_[sid];
+        stream.mode = exec.mode();
+        stream.subscribers = {&exec};
+        streams_.push_back(std::move(stream));
+      }
+    }
+  }
+
+  // IRQ lines: one per per-sample stream, one per batched/offloaded app.
+  // Streams also get their fault model seeded here.
+  for (auto& st : streams_) {
+    st.fault_prob = cfg_.world.sensor_fault_prob;
+    st.fault_rng = rng_.fork();
+    if (st.mode == AppMode::kPerSample) {
+      st.line = hub_->irq().allocate_line("stream_" + st.sensor->spec().id);
+    }
+  }
+  for (auto& exec : executors_) {
+    if (exec.mode() != AppMode::kPerSample) {
+      exec.set_completion_line(
+          hub_->irq().allocate_line(std::string{apps::code_of(exec.id())} + "_done"));
+    }
+  }
+
+  // Spawn everything.
+  for (auto& st : streams_) {
+    sim_.spawn(stream_sampler(&st));
+    if (st.mode == AppMode::kPerSample) {
+      sim_.spawn(stream_cpu_handler(&st));
+    }
+  }
+  for (auto& exec : executors_) {
+    sim_.spawn(exec.cpu_loop());
+    if (exec.mode() != AppMode::kPerSample) {
+      sim_.spawn(exec.mcu_loop());
+    }
+  }
+}
+
+Task<void> HubRuntime::stream_sampler(SensorStream* st) {
+  const auto& sspec = st->sensor->spec();
+  const int per_window = sspec.samples_per_window();
+  const Duration window = st->subscribers.front()->spec().window;
+  const Duration period = window / per_window;
+
+  for (int w = 0; w < cfg_.windows; ++w) {
+    for (int k = 0; k < per_window; ++k) {
+      const sim::SimTime nominal = sim::SimTime::origin() + window * w + period * k;
+      if (sim_.now() < nominal) {
+        co_await hub_->mcu().wait(nominal - sim_.now(), hw::SleepPolicy::kLightSleep,
+                                  Routine::kDataCollection);
+      }
+      const Duration jitter = sim_.now() - nominal;
+      for (AppExecutor* sub : st->subscribers) {
+        qos_.record_sample_jitter(sub->id(), jitter);
+      }
+
+      // §II-B Task I: check sensor availability. A failed check aborts the
+      // read ("the MCU stops reading and throws an error"); the driver
+      // backs off briefly and retries. Bounded retries keep the sample
+      // count invariant — the final attempt always reads.
+      for (int attempt = 0; attempt < 3; ++attempt) {
+        if (st->fault_prob <= 0.0 || !st->fault_rng.bernoulli(st->fault_prob)) break;
+        ++sensor_read_errors_;
+        co_await hub_->mcu().execute(sim::Duration::from_us(40.0),
+                                     Routine::kDataCollection);  // check + error path
+        co_await hub_->mcu().wait(sim::Duration::from_us(200.0),
+                                  hw::SleepPolicy::kBusyWait, Routine::kDataCollection);
+      }
+
+      // §II-B's remaining tasks: check+convert inside the sensor (bus
+      // powered, MCU free), then the driver's fetch+format on the MCU.
+      // Analog sensors output continuously — there is no exclusive
+      // conversion phase to serialise on (their datasheet latency is ADC
+      // settling, absorbed in the driver fetch).
+      const Duration conversion = sspec.conversion_time();
+      if (!conversion.is_zero() && sspec.bus != sensors::BusType::kAnalog) {
+        co_await st->bus->occupy(conversion, Routine::kDataCollection);
+      }
+      co_await hub_->mcu().execute(sspec.mcu_busy_time(), Routine::kDataCollection);
+      st->subscribers.front()->add_busy(Routine::kDataCollection, sspec.mcu_busy_time());
+
+      sensors::Sample sample = st->sensor->read(sim_.now());
+
+      if (st->mode == AppMode::kPerSample) {
+        st->pending.push_back(SensorStream::Pending{std::move(sample), w});
+        co_await hub_->irq().raise(st->line);
+        // The MCU must hold the value for the CPU: it waits, powered, until
+        // the handler's transfer completes (Fig. 4's MCU-wait share).
+        co_await hub_->mcu().wait_signal(
+            st->transfer_done, hw::SleepPolicy::kBusyWait, Routine::kDataTransfer,
+            hub_->spec().transfer_time(sspec.sample_bytes));
+      } else {
+        // Batching/offload: append to the MCU-side window buffer.
+        co_await hub_->mcu().execute(hub_->spec().mcu_buffer_store,
+                                     Routine::kDataCollection);
+        st->subscribers.front()->collector(w).add(st->sensor_id, std::move(sample));
+      }
+    }
+  }
+}
+
+Task<void> HubRuntime::stream_cpu_handler(SensorStream* st) {
+  const auto& sspec = st->sensor->spec();
+  const int per_window = sspec.samples_per_window();
+  const Duration gap = st->subscribers.front()->spec().window / per_window;
+  const std::int64_t total = static_cast<std::int64_t>(per_window) * cfg_.windows;
+
+  // The baseline's defining inefficiency (Fig. 5a): the per-sample driver
+  // blocks on the MCU, so the CPU stays in the active state for the whole
+  // stream lifetime — it never sleeps while interrupts are in flight.
+  auto idle_pin =
+      hub_->cpu().constrain_idle(hw::SleepPolicy::kBusyWait, Routine::kDataTransfer);
+
+  for (std::int64_t i = 0; i < total; ++i) {
+    co_await hub_->irq().wait_and_dispatch(st->line, hw::SleepPolicy::kBusyWait,
+                                           Routine::kDataTransfer, gap);
+    AppExecutor* owner = st->subscribers.front();
+    owner->add_busy(Routine::kInterrupt, hub_->spec().interrupt_dispatch);
+
+    assert(!st->pending.empty());
+    SensorStream::Pending p = std::move(st->pending.front());
+    st->pending.pop_front();
+
+    const std::size_t bytes = p.sample.wire_bytes(sspec.sample_bytes);
+    co_await hub_->transfer_to_cpu(bytes, Routine::kDataTransfer);
+    owner->add_busy(Routine::kDataTransfer, hub_->spec().transfer_time(bytes));
+
+    // Release the MCU from its bus-hold handshake.
+    st->transfer_done.notify_all();
+
+    // Fan the value out to every subscriber (BEAM's CPU-side sharing).
+    for (std::size_t s = 0; s + 1 < st->subscribers.size(); ++s) {
+      st->subscribers[s]->collector(p.window).add(st->sensor_id, p.sample);
+    }
+    st->subscribers.back()->collector(p.window).add(st->sensor_id, std::move(p.sample));
+  }
+  idle_pin.release();
+}
+
+HubResult HubRuntime::harvest(const energy::EnergyAccountant& acct, sim::Duration span) const {
+  HubResult hr;
+  hr.name = cfg_.name;
+  hr.energy = energy::EnergyReport::from_accountant(acct, span, hub_->component_prefix());
+  hr.plan = plan_;
+  hr.notes = notes_;
+  hr.interrupts_raised = hub_->irq().raised_count();
+  hr.cpu_wakeups = hub_->cpu().wakeup_count();
+  hr.sensor_read_errors = sensor_read_errors_;
+  hr.qos_met = qos_.all_met();
+  hr.qos_summary = qos_.summary();
+  for (const auto& exec : executors_) {
+    hr.apps.emplace(exec.id(), exec.build_result());
+  }
+  return hr;
+}
+
+}  // namespace iotsim::core

@@ -1,0 +1,100 @@
+// One hub's complete runtime: the hardware instance plus the sensors, PIO
+// buses, sampling streams, executors, offload plan and QoS/MIPS bookkeeping
+// that ScenarioRunner used to hard-wire for exactly one hub.
+//
+// A scenario run owns a list of HubRuntimes, all driven by one shared
+// sim::Simulator and accounted in one shared energy::EnergyAccountant —
+// fleet mode scopes every component name per hub ("hub0/cpu", "hub1/mcu",
+// …), while the legacy single-hub path keeps the historical flat names so
+// existing results stay byte-identical.
+//
+// Life cycle (ScenarioRunner drives it):
+//   1. construct     — offload plan, app modes, executors, sensors, buses;
+//                      every powered component registers with the ledger
+//   2. attach_trace  — optional, after *all* hubs exist
+//   3. start         — wire streams + IRQ lines, spawn coroutines
+//   4. sim.run(); flush_power()
+//   5. harvest       — per-hub HubResult (energy slice, apps, QoS)
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/app_executor.h"
+#include "core/offload_planner.h"
+#include "core/reports.h"
+#include "core/scenario.h"
+
+namespace iotsim::core {
+
+class HubRuntime {
+ public:
+  /// Everything one hub needs to build itself. `component_scope` names the
+  /// hub inside the shared accountant ("hub1" ⇒ components "hub1/cpu", …);
+  /// empty keeps the historical flat names (single-hub back-compat).
+  struct Config {
+    std::string name;             // result-facing name ("hub0")
+    std::string component_scope;  // accountant scope; "" on the legacy path
+    hw::HubSpec spec;
+    std::vector<apps::AppId> app_ids;
+    sensors::WorldConfig world;
+    Scheme scheme = Scheme::kBaseline;
+    int windows = 1;
+    int batch_flushes_per_window = 1;
+    double mcu_speed_factor = 1.0;
+    std::uint64_t seed = 0;
+  };
+
+  /// Builds the hub's hardware and app topology; registers every powered
+  /// component with `acct`. Nothing is spawned yet.
+  HubRuntime(sim::Simulator& sim, energy::EnergyAccountant& acct, Config cfg);
+
+  HubRuntime(const HubRuntime&) = delete;
+  HubRuntime& operator=(const HubRuntime&) = delete;
+
+  /// Wires the sampling streams and IRQ lines, then spawns every coroutine
+  /// onto the shared simulator. Call exactly once, after construction (and
+  /// after any attach_trace, so the trace sees all components).
+  void start();
+
+  template <typename Trace>
+  void attach_trace(Trace& trace) {
+    hub_->attach_trace(trace);
+  }
+
+  /// Closes all of this hub's open power segments (after the sim drains).
+  void flush_power() { hub_->flush_power(); }
+
+  /// Collects this hub's slice of the run: its components' energy report,
+  /// per-app results, offload plan and QoS verdicts.
+  [[nodiscard]] HubResult harvest(const energy::EnergyAccountant& acct,
+                                  sim::Duration span) const;
+
+  [[nodiscard]] const std::string& name() const { return cfg_.name; }
+  [[nodiscard]] hw::IotHub& hub() { return *hub_; }
+
+ private:
+  [[nodiscard]] AppMode mode_for(apps::AppId id, const OffloadPlan& plan) const;
+  [[nodiscard]] sim::Task<void> stream_sampler(SensorStream* stream);
+  [[nodiscard]] sim::Task<void> stream_cpu_handler(SensorStream* stream);
+
+  sim::Simulator& sim_;
+  Config cfg_;
+  std::unique_ptr<hw::IotHub> hub_;
+  sim::Rng rng_;
+  QosChecker qos_;
+  trace::MipsCounter mips_;
+  OffloadPlan plan_;
+  std::map<sensors::SensorId, std::unique_ptr<sensors::Sensor>> sensors_;
+  std::map<sensors::SensorId, hw::Bus*> buses_;
+  std::deque<SensorStream> streams_;
+  std::deque<AppExecutor> executors_;
+  std::map<apps::AppId, std::string> notes_;
+  std::uint64_t sensor_read_errors_ = 0;
+};
+
+}  // namespace iotsim::core

@@ -49,17 +49,46 @@ struct AppResult {
   std::uint64_t instructions = 0;
 };
 
+/// One hub's slice of a scenario run: the per-hub counterpart of the
+/// fleet-level fields on ScenarioResult. Single-hub (legacy) runs produce
+/// exactly one of these, mirroring the flat fields.
+struct HubResult {
+  std::string name;  // "hub0", "hub1", …
+  /// This hub's components only (Σ routine == ∫P dt holds per hub).
+  energy::EnergyReport energy;
+  std::map<apps::AppId, AppResult> apps;
+  OffloadPlan plan;
+  std::map<apps::AppId, std::string> notes;
+  std::uint64_t interrupts_raised = 0;
+  std::uint64_t cpu_wakeups = 0;
+  std::uint64_t sensor_read_errors = 0;
+  bool qos_met = true;
+  std::string qos_summary;
+
+  [[nodiscard]] double total_joules() const { return energy.total_joules(); }
+};
+
 struct ScenarioResult {
   Scheme scheme{};
   /// Non-empty ⇒ the scenario failed Scenario::validate() and never ran;
   /// every other field is default-initialised.
   std::vector<ScenarioError> errors;
+  /// Fleet-level totals: every hub's components in one report.
   energy::EnergyReport energy;
   sim::Duration span;
+  /// Per-app results. Populated on the single-hub path only — in fleet mode
+  /// the same AppId may run on many hubs, so per-app results live in
+  /// `hubs[i].apps` instead and this map stays empty.
   std::map<apps::AppId, AppResult> apps;
+  /// Offload decisions (single-hub path; per-hub plans in `hubs[i].plan`).
   OffloadPlan plan;
   /// Runtime adjustments (e.g. batch-buffer fallback to per-sample).
+  /// Single-hub path; per-hub notes in `hubs[i].notes`.
   std::map<apps::AppId, std::string> notes;
+  /// One section per simulated hub, in hub order (size ≥ 1 whenever the
+  /// scenario ran). The flat fields above are the fleet totals / the legacy
+  /// single-hub view.
+  std::vector<HubResult> hubs;
   std::uint64_t interrupts_raised = 0;
   std::uint64_t cpu_wakeups = 0;
   /// §II-B Task I availability-check failures (retried by the driver).

@@ -51,6 +51,61 @@ Value app_to_json(const AppResult& a) {
   return v;
 }
 
+/// Adds "energy_by_routine_j" / "energy_by_component_j" keys to `v`.
+void add_energy_json(Value& v, const energy::EnergyReport& report) {
+  Value by_routine;
+  for (auto r : energy::kAllRoutines) {
+    by_routine[std::string{to_string(r)}] = Value{report.joules(r)};
+  }
+  Value by_component;
+  for (const auto& [name, row] : report.by_component()) {
+    double total = 0.0;
+    for (double j : row) total += j;
+    by_component[name] = Value{total};
+  }
+  v["energy_by_routine_j"] = std::move(by_routine);
+  v["energy_by_component_j"] = std::move(by_component);
+}
+
+Value plan_to_json(const OffloadPlan& plan) {
+  Value v;
+  for (const auto& [id, d] : plan.decisions) {
+    Value decision;
+    decision["offload"] = Value{d.offload};
+    decision["reason"] = Value{d.reason};
+    v[std::string{apps::code_of(id)}] = std::move(decision);
+  }
+  return v;
+}
+
+Value notes_to_json(const std::map<apps::AppId, std::string>& notes) {
+  Value v;
+  for (const auto& [id, note] : notes) {
+    v[std::string{apps::code_of(id)}] = Value{note};
+  }
+  return v;
+}
+
+Value hub_to_json(const HubResult& h) {
+  Value v;
+  v["name"] = Value{h.name};
+  v["total_joules"] = Value{h.total_joules()};
+  v["interrupts_raised"] = Value{static_cast<double>(h.interrupts_raised)};
+  v["cpu_wakeups"] = Value{static_cast<double>(h.cpu_wakeups)};
+  v["sensor_read_errors"] = Value{static_cast<double>(h.sensor_read_errors)};
+  v["qos_met"] = Value{h.qos_met};
+  add_energy_json(v, h.energy);
+  Value apps_v;
+  for (const auto& [id, res] : h.apps) {
+    apps_v[std::string{apps::code_of(id)}] = app_to_json(res);
+  }
+  v["apps"] = std::move(apps_v);
+  v["offload_plan"] = plan_to_json(h.plan);
+  v["mcu_ram_used_bytes"] = Value{static_cast<double>(h.plan.mcu_ram_used)};
+  v["notes"] = notes_to_json(h.notes);
+  return v;
+}
+
 }  // namespace
 
 Value to_json(const ScenarioResult& result) {
@@ -63,19 +118,7 @@ Value to_json(const ScenarioResult& result) {
   v["cpu_wakeups"] = Value{static_cast<double>(result.cpu_wakeups)};
   v["qos_met"] = Value{result.qos_met};
 
-  Value energy;
-  for (auto r : energy::kAllRoutines) {
-    energy[std::string{to_string(r)}] = Value{result.energy.joules(r)};
-  }
-  v["energy_by_routine_j"] = std::move(energy);
-
-  Value components;
-  for (const auto& [name, row] : result.energy.by_component()) {
-    double total = 0.0;
-    for (double j : row) total += j;
-    components[name] = Value{total};
-  }
-  v["energy_by_component_j"] = std::move(components);
+  add_energy_json(v, result.energy);
 
   Value apps_v;
   for (const auto& [id, res] : result.apps) {
@@ -83,21 +126,15 @@ Value to_json(const ScenarioResult& result) {
   }
   v["apps"] = std::move(apps_v);
 
-  Value plan;
-  for (const auto& [id, d] : result.plan.decisions) {
-    Value decision;
-    decision["offload"] = Value{d.offload};
-    decision["reason"] = Value{d.reason};
-    plan[std::string{apps::code_of(id)}] = std::move(decision);
-  }
-  v["offload_plan"] = std::move(plan);
+  v["offload_plan"] = plan_to_json(result.plan);
   v["mcu_ram_used_bytes"] = Value{static_cast<double>(result.plan.mcu_ram_used)};
+  v["notes"] = notes_to_json(result.notes);
 
-  Value notes;
-  for (const auto& [id, note] : result.notes) {
-    notes[std::string{apps::code_of(id)}] = Value{note};
+  Value hubs_v;
+  for (const auto& h : result.hubs) {
+    hubs_v.push_back(hub_to_json(h));
   }
-  v["notes"] = std::move(notes);
+  v["hubs"] = std::move(hubs_v);
   return v;
 }
 

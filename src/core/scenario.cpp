@@ -7,19 +7,92 @@ namespace iotsim::core {
 
 std::string to_string(const ScenarioError& e) { return e.field + ": " + e.message; }
 
+std::uint64_t hub_seed(std::uint64_t base, std::size_t index) {
+  // Weyl-sequence xor: hub 0 keeps the scenario seed bit-for-bit (the
+  // single-hub back-compat guarantee); every further hub gets a distinct,
+  // well-spread stream.
+  return base ^ (static_cast<std::uint64_t>(index) * 0x9E3779B97F4A7C15ull);
+}
+
+std::size_t Scenario::fleet_size() const {
+  if (!multi_hub()) return 1;
+  std::size_t n = 0;
+  for (const auto& inst : hubs) n += inst.count > 0 ? static_cast<std::size_t>(inst.count) : 0;
+  return n;
+}
+
+std::vector<ResolvedHub> Scenario::resolved_hubs() const {
+  std::vector<ResolvedHub> resolved;
+  if (!multi_hub()) {
+    // Legacy desugaring: one hub, unscoped components, the scenario's own
+    // RNG seed — numerically identical to the pre-fleet runner.
+    resolved.push_back(ResolvedHub{"hub0", "", &hub, &app_ids, &world, hub_seed(seed, 0)});
+    return resolved;
+  }
+  resolved.reserve(fleet_size());
+  for (const auto& inst : hubs) {
+    for (int c = 0; c < inst.count; ++c) {
+      const std::size_t index = resolved.size();
+      const std::string name = "hub" + std::to_string(index);
+      resolved.push_back(ResolvedHub{name, name, &inst.hub, &inst.app_ids,
+                                     inst.world ? &*inst.world : &world,
+                                     hub_seed(seed, index)});
+    }
+  }
+  return resolved;
+}
+
+namespace {
+
+void validate_app_list(const std::vector<apps::AppId>& ids, const std::string& field,
+                       std::vector<ScenarioError>& errors) {
+  if (ids.empty()) {
+    errors.push_back({field, "at least one app is required"});
+    return;
+  }
+  std::set<apps::AppId> seen;
+  for (apps::AppId id : ids) {
+    if (!seen.insert(id).second) {
+      errors.push_back({field, "duplicate app " + std::string{apps::code_of(id)} +
+                                   " (each app may appear once)"});
+    }
+  }
+}
+
+void validate_fault_prob(double prob, const std::string& field,
+                         std::vector<ScenarioError>& errors) {
+  if (prob < 0.0 || prob > 1.0 || !std::isfinite(prob)) {
+    errors.push_back(
+        {field, "must be a probability in [0, 1] (got " + std::to_string(prob) + ")"});
+  }
+}
+
+}  // namespace
+
 std::vector<ScenarioError> Scenario::validate() const {
   std::vector<ScenarioError> errors;
 
-  if (app_ids.empty()) {
-    errors.push_back({"app_ids", "at least one app is required"});
-  } else {
-    std::set<apps::AppId> seen;
-    for (apps::AppId id : app_ids) {
-      if (!seen.insert(id).second) {
-        errors.push_back({"app_ids", "duplicate app " + std::string{apps::code_of(id)} +
-                                         " (each app may appear once)"});
+  if (multi_hub()) {
+    if (!app_ids.empty()) {
+      errors.push_back({"app_ids",
+                        "top-level app_ids and the hubs[] fleet are mutually exclusive "
+                        "(list apps on the hub instances instead)"});
+    }
+    for (std::size_t i = 0; i < hubs.size(); ++i) {
+      const auto& inst = hubs[i];
+      const std::string prefix = "hubs[" + std::to_string(i) + "].";
+      validate_app_list(inst.app_ids, prefix + "app_ids", errors);
+      if (inst.count < 1) {
+        errors.push_back(
+            {prefix + "count", "must be >= 1 (got " + std::to_string(inst.count) + ")"});
+      }
+      if (inst.world) {
+        validate_fault_prob(inst.world->sensor_fault_prob,
+                            prefix + "world.sensor_fault_prob", errors);
       }
     }
+  } else {
+    validate_app_list(app_ids, "app_ids", errors);
   }
 
   if (windows <= 0) {
@@ -34,12 +107,7 @@ std::vector<ScenarioError> Scenario::validate() const {
                       "must be a positive finite factor (got " +
                           std::to_string(mcu_speed_factor) + ")"});
   }
-  if (world.sensor_fault_prob < 0.0 || world.sensor_fault_prob > 1.0 ||
-      !std::isfinite(world.sensor_fault_prob)) {
-    errors.push_back({"world.sensor_fault_prob",
-                      "must be a probability in [0, 1] (got " +
-                          std::to_string(world.sensor_fault_prob) + ")"});
-  }
+  validate_fault_prob(world.sensor_fault_prob, "world.sensor_fault_prob", errors);
 
   return errors;
 }

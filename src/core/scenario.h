@@ -13,12 +13,15 @@
 // nonsense scenario run; run_scenario() calls it and surfaces failures in
 // ScenarioResult::errors.
 //
-// NOTE: every field of Scenario (and of the HubSpec / WorldConfig it embeds)
-// participates in the sweep memo's content hash — when adding a field here,
-// extend scenario_key() in core/sweep.cpp as well.
+// NOTE: every field of Scenario (and of the HubSpec / WorldConfig /
+// HubInstance structs it embeds) participates in the sweep memo's content
+// hash — when adding a field here, extend scenario_key() in core/sweep.cpp
+// as well. tests/core/test_scenario_key.cpp mutates every field one by one
+// and will catch an omission.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -40,6 +43,41 @@ struct ScenarioError {
 
 class ScenarioBuilder;
 
+/// One hub template of a fleet scenario: a hardware spec, the apps it runs,
+/// an optional world override, and how many identical copies to stamp out.
+/// Each stamped copy becomes its own core::HubRuntime with an independent
+/// RNG stream derived from Scenario::seed.
+struct HubInstance {
+  hw::HubSpec hub = hw::default_hub_spec();
+  std::vector<apps::AppId> app_ids;
+  /// Per-hub world override; unset ⇒ the scenario-level world applies.
+  std::optional<sensors::WorldConfig> world;
+  /// Identical hubs stamped from this template (each gets a derived seed).
+  int count = 1;
+};
+
+/// One concrete hub of a scenario after count-expansion of the `hubs` list —
+/// or the legacy single-hub desugaring when that list is empty. Pointers
+/// reference the Scenario they were resolved from.
+struct ResolvedHub {
+  std::string name;  // "hub<flat index>"
+  /// Accountant component scope: "" on the legacy path (components keep the
+  /// historical flat names), the hub name in fleet mode ("hub0/cpu", …).
+  std::string component_scope;
+  const hw::HubSpec* spec = nullptr;
+  const std::vector<apps::AppId>* app_ids = nullptr;
+  const sensors::WorldConfig* world = nullptr;
+  /// Per-hub RNG stream: Scenario::seed for hub 0 (keeping single-hub runs
+  /// numerically identical to the pre-fleet runner), an xor-derived stream
+  /// for every further hub.
+  std::uint64_t seed = 0;
+};
+
+/// The seed ResolvedHub::seed carries for hub `index` of a scenario seeded
+/// with `base`: `base` itself for index 0, `base ^ (index · golden-ratio)`
+/// beyond — distinct streams per hub, identity for the back-compat hub.
+[[nodiscard]] std::uint64_t hub_seed(std::uint64_t base, std::size_t index);
+
 struct Scenario {
   std::vector<apps::AppId> app_ids;
   Scheme scheme = Scheme::kBaseline;
@@ -60,11 +98,29 @@ struct Scenario {
   /// >1 = slower MCU, <1 = faster).
   double mcu_speed_factor = 1.0;
 
+  /// Fleet mode: when non-empty, the scenario simulates this list of hubs
+  /// (count-expanded) instead of the single legacy hub above, and the
+  /// top-level `app_ids`/`hub` fields must stay empty/default. All hubs
+  /// share one Simulator clock and one EnergyAccountant; components are
+  /// scoped per hub ("hub0/cpu", "hub1/mcu", …).
+  std::vector<HubInstance> hubs;
+
+  /// True when the explicit hub list is in use (fleet mode).
+  [[nodiscard]] bool multi_hub() const { return !hubs.empty(); }
+  /// Number of concrete hubs this scenario simulates (count-expanded;
+  /// 1 on the legacy single-hub path).
+  [[nodiscard]] std::size_t fleet_size() const;
+  /// The concrete per-hub view the runner builds from: the `hubs` list
+  /// count-expanded, or the legacy fields desugared into one unscoped hub.
+  /// Returned pointers reference *this — keep the Scenario alive.
+  [[nodiscard]] std::vector<ResolvedHub> resolved_hubs() const;
+
   /// Entry point of the fluent construction API.
   [[nodiscard]] static ScenarioBuilder builder();
 
   /// Checks the scenario for configuration errors (empty app list,
-  /// non-positive windows, …). Empty result ⇒ the scenario is runnable.
+  /// non-positive windows, per-hub issues in fleet mode, …). Empty result ⇒
+  /// the scenario is runnable.
   [[nodiscard]] std::vector<ScenarioError> validate() const;
 };
 
@@ -99,7 +155,22 @@ class ScenarioBuilder {
     return *this;
   }
   ScenarioBuilder& hub(hw::HubSpec h) {
-    sc_.hub = h;
+    sc_.hub = std::move(h);
+    return *this;
+  }
+  /// Appends one hub template to the fleet (switches the scenario into
+  /// fleet mode; see Scenario::hubs).
+  ScenarioBuilder& add_hub(HubInstance inst) {
+    sc_.hubs.push_back(std::move(inst));
+    return *this;
+  }
+  /// Shorthand: `count` hubs of spec `h` each running `ids`.
+  ScenarioBuilder& add_hub(hw::HubSpec h, std::vector<apps::AppId> ids, int count = 1) {
+    HubInstance inst;
+    inst.hub = std::move(h);
+    inst.app_ids = std::move(ids);
+    inst.count = count;
+    sc_.hubs.push_back(std::move(inst));
     return *this;
   }
   ScenarioBuilder& record_power_trace(bool on = true) {

@@ -1,155 +1,13 @@
 #include "core/scenario_runner.h"
 
-#include <algorithm>
 #include <cassert>
+#include <deque>
 
+#include "core/hub_runtime.h"
 #include "energy/energy_accountant.h"
-#include "sim/random.h"
+#include "trace/power_trace.h"
 
 namespace iotsim::core {
-
-using energy::Routine;
-using sim::Duration;
-using sim::Task;
-
-struct ScenarioRunner::Build {
-  sim::Simulator sim;
-  energy::EnergyAccountant acct;
-  std::unique_ptr<hw::IotHub> hub;
-  sim::Rng rng;
-  QosChecker qos;
-  trace::MipsCounter mips;
-  std::map<sensors::SensorId, std::unique_ptr<sensors::Sensor>> sensors;
-  std::map<sensors::SensorId, hw::Bus*> buses;
-  std::deque<SensorStream> streams;
-  std::deque<AppExecutor> executors;
-  std::map<apps::AppId, std::string> notes;
-  std::uint64_t sensor_read_errors = 0;
-  std::shared_ptr<trace::PowerTrace> power_trace;
-
-  explicit Build(const Scenario& s) : rng{s.seed} {
-    hub = std::make_unique<hw::IotHub>(sim, acct, s.hub);
-  }
-};
-
-AppMode ScenarioRunner::mode_for(apps::AppId id, const OffloadPlan& plan) const {
-  switch (scenario_.scheme) {
-    case Scheme::kBaseline:
-    case Scheme::kBeam:
-      return AppMode::kPerSample;
-    case Scheme::kBatching:
-      return AppMode::kBatched;
-    case Scheme::kCom:
-      // COM where possible; where the MCU cannot host the app the paper's
-      // COM column simply is not applicable — such apps run as baseline.
-      return plan.offloaded(id) ? AppMode::kOffloaded : AppMode::kPerSample;
-    case Scheme::kBcom:
-      return plan.offloaded(id) ? AppMode::kOffloaded : AppMode::kBatched;
-  }
-  return AppMode::kPerSample;
-}
-
-Task<void> ScenarioRunner::stream_sampler(Build& b, SensorStream* st) {
-  const auto& sspec = st->sensor->spec();
-  const int per_window = sspec.samples_per_window();
-  const Duration window = st->subscribers.front()->spec().window;
-  const Duration period = window / per_window;
-
-  for (int w = 0; w < scenario_.windows; ++w) {
-    for (int k = 0; k < per_window; ++k) {
-      const sim::SimTime nominal = sim::SimTime::origin() + window * w + period * k;
-      if (b.sim.now() < nominal) {
-        co_await b.hub->mcu().wait(nominal - b.sim.now(), hw::SleepPolicy::kLightSleep,
-                                   Routine::kDataCollection);
-      }
-      const Duration jitter = b.sim.now() - nominal;
-      for (AppExecutor* sub : st->subscribers) {
-        b.qos.record_sample_jitter(sub->id(), jitter);
-      }
-
-      // §II-B Task I: check sensor availability. A failed check aborts the
-      // read ("the MCU stops reading and throws an error"); the driver
-      // backs off briefly and retries. Bounded retries keep the sample
-      // count invariant — the final attempt always reads.
-      for (int attempt = 0; attempt < 3; ++attempt) {
-        if (st->fault_prob <= 0.0 || !st->fault_rng.bernoulli(st->fault_prob)) break;
-        ++b.sensor_read_errors;
-        co_await b.hub->mcu().execute(sim::Duration::from_us(40.0),
-                                      Routine::kDataCollection);  // check + error path
-        co_await b.hub->mcu().wait(sim::Duration::from_us(200.0),
-                                   hw::SleepPolicy::kBusyWait, Routine::kDataCollection);
-      }
-
-      // §II-B's remaining tasks: check+convert inside the sensor (bus
-      // powered, MCU free), then the driver's fetch+format on the MCU.
-      // Analog sensors output continuously — there is no exclusive
-      // conversion phase to serialise on (their datasheet latency is ADC
-      // settling, absorbed in the driver fetch).
-      const Duration conversion = sspec.conversion_time();
-      if (!conversion.is_zero() && sspec.bus != sensors::BusType::kAnalog) {
-        co_await st->bus->occupy(conversion, Routine::kDataCollection);
-      }
-      co_await b.hub->mcu().execute(sspec.mcu_busy_time(), Routine::kDataCollection);
-      st->subscribers.front()->add_busy(Routine::kDataCollection, sspec.mcu_busy_time());
-
-      sensors::Sample sample = st->sensor->read(b.sim.now());
-
-      if (st->mode == AppMode::kPerSample) {
-        st->pending.push_back(SensorStream::Pending{std::move(sample), w});
-        co_await b.hub->irq().raise(st->line);
-        // The MCU must hold the value for the CPU: it waits, powered, until
-        // the handler's transfer completes (Fig. 4's MCU-wait share).
-        co_await b.hub->mcu().wait_signal(
-            st->transfer_done, hw::SleepPolicy::kBusyWait, Routine::kDataTransfer,
-            b.hub->spec().transfer_time(sspec.sample_bytes));
-      } else {
-        // Batching/offload: append to the MCU-side window buffer.
-        co_await b.hub->mcu().execute(b.hub->spec().mcu_buffer_store,
-                                      Routine::kDataCollection);
-        st->subscribers.front()->collector(w).add(st->sensor_id, std::move(sample));
-      }
-    }
-  }
-}
-
-Task<void> ScenarioRunner::stream_cpu_handler(Build& b, SensorStream* st) {
-  const auto& sspec = st->sensor->spec();
-  const int per_window = sspec.samples_per_window();
-  const Duration gap = st->subscribers.front()->spec().window / per_window;
-  const std::int64_t total =
-      static_cast<std::int64_t>(per_window) * scenario_.windows;
-
-  // The baseline's defining inefficiency (Fig. 5a): the per-sample driver
-  // blocks on the MCU, so the CPU stays in the active state for the whole
-  // stream lifetime — it never sleeps while interrupts are in flight.
-  auto idle_pin =
-      b.hub->cpu().constrain_idle(hw::SleepPolicy::kBusyWait, Routine::kDataTransfer);
-
-  for (std::int64_t i = 0; i < total; ++i) {
-    co_await b.hub->irq().wait_and_dispatch(st->line, hw::SleepPolicy::kBusyWait,
-                                            Routine::kDataTransfer, gap);
-    AppExecutor* owner = st->subscribers.front();
-    owner->add_busy(Routine::kInterrupt, b.hub->spec().interrupt_dispatch);
-
-    assert(!st->pending.empty());
-    SensorStream::Pending p = std::move(st->pending.front());
-    st->pending.pop_front();
-
-    const std::size_t bytes = p.sample.wire_bytes(sspec.sample_bytes);
-    co_await b.hub->transfer_to_cpu(bytes, Routine::kDataTransfer);
-    owner->add_busy(Routine::kDataTransfer, b.hub->spec().transfer_time(bytes));
-
-    // Release the MCU from its bus-hold handshake.
-    st->transfer_done.notify_all();
-
-    // Fan the value out to every subscriber (BEAM's CPU-side sharing).
-    for (std::size_t s = 0; s + 1 < st->subscribers.size(); ++s) {
-      st->subscribers[s]->collector(p.window).add(st->sensor_id, p.sample);
-    }
-    st->subscribers.back()->collector(p.window).add(st->sensor_id, std::move(p.sample));
-  }
-  idle_pin.release();
-}
 
 ScenarioResult ScenarioRunner::run() {
   if (auto errors = scenario_.validate(); !errors.empty()) {
@@ -159,141 +17,81 @@ ScenarioResult ScenarioRunner::run() {
     invalid.qos_met = false;
     return invalid;
   }
-  Build b{scenario_};
 
-  // Offload plan (consulted by kCom / kBcom).
-  OffloadPlanner planner{b.hub->spec()};
-  const OffloadPlan plan = planner.plan(scenario_.app_ids);
+  sim::Simulator sim;
+  energy::EnergyAccountant acct;
 
-  // Decide each app's mode up front. Batching buffers must fit the MCU
-  // RAM; apps that do not fit fall back to per-sample delivery.
-  std::map<apps::AppId, AppMode> modes;
-  for (apps::AppId id : scenario_.app_ids) {
-    AppMode mode = mode_for(id, plan);
-    if (mode == AppMode::kBatched) {
-      const std::size_t need = apps::spec_of(id).sensor_bytes_per_window();
-      if (!b.hub->mcu().reserve_ram(need)) {
-        b.notes[id] = "batch buffer does not fit MCU RAM; fell back to per-sample";
-        mode = AppMode::kPerSample;
-      }
-    }
-    modes[id] = mode;
-  }
-  if (scenario_.scheme == Scheme::kCom || scenario_.scheme == Scheme::kBcom) {
-    (void)b.hub->mcu().reserve_ram(plan.mcu_ram_used);
-  }
-
-  // Executors.
-  const AppExecutor::Tuning tuning{scenario_.batch_flushes_per_window,
-                                   scenario_.mcu_speed_factor};
-  for (apps::AppId id : scenario_.app_ids) {
-    b.executors.emplace_back(b.sim, *b.hub, id, modes[id], scenario_.windows, b.qos, b.mips,
-                             tuning);
+  // Build every hub's hardware and topology first (all powered components
+  // register with the shared ledger), then attach the trace, then spawn —
+  // so the trace integral covers every component, per hub or fleet-wide.
+  std::deque<HubRuntime> hubs;  // deque: HubRuntime is pinned (internal pointers)
+  for (const ResolvedHub& rh : scenario_.resolved_hubs()) {
+    HubRuntime::Config cfg;
+    cfg.name = rh.name;
+    cfg.component_scope = rh.component_scope;
+    cfg.spec = *rh.spec;
+    cfg.app_ids = *rh.app_ids;
+    cfg.world = *rh.world;
+    cfg.scheme = scenario_.scheme;
+    cfg.windows = scenario_.windows;
+    cfg.batch_flushes_per_window = scenario_.batch_flushes_per_window;
+    cfg.mcu_speed_factor = scenario_.mcu_speed_factor;
+    cfg.seed = rh.seed;
+    hubs.emplace_back(sim, acct, std::move(cfg));
   }
 
-  // Sensors & buses — one physical instance per sensor id.
-  for (apps::AppId id : scenario_.app_ids) {
-    for (auto sid : apps::spec_of(id).sensor_ids) {
-      if (!b.sensors.contains(sid)) {
-        auto sensor = sensors::make_sensor(sid, b.rng, scenario_.world);
-        b.buses[sid] = &b.hub->add_pio_bus(sensor->spec().id);
-        b.sensors[sid] = std::move(sensor);
-      }
-    }
-  }
-
-  // Trace attaches after every powered component (including the per-sensor
-  // PIO buses above) exists, so its integral equals the ledger's.
+  std::shared_ptr<trace::PowerTrace> power_trace;
   if (scenario_.record_power_trace) {
-    b.power_trace = std::make_shared<trace::PowerTrace>();
-    b.hub->attach_trace(*b.power_trace);
+    power_trace = std::make_shared<trace::PowerTrace>();
+    for (auto& hub : hubs) hub.attach_trace(*power_trace);
   }
 
-  // Streams: shared per sensor under BEAM, exclusive per (app, sensor)
-  // otherwise.
-  if (scenario_.scheme == Scheme::kBeam) {
-    std::map<sensors::SensorId, SensorStream*> shared;
-    for (auto& exec : b.executors) {
-      for (auto sid : exec.spec().sensor_ids) {
-        auto it = shared.find(sid);
-        if (it == shared.end()) {
-          SensorStream stream;
-          stream.sensor_id = sid;
-          stream.sensor = b.sensors[sid].get();
-          stream.bus = b.buses[sid];
-          stream.mode = AppMode::kPerSample;
-          stream.subscribers = {&exec};
-          b.streams.push_back(std::move(stream));
-          shared[sid] = &b.streams.back();
-        } else {
-          it->second->subscribers.push_back(&exec);
-        }
-      }
-    }
-  } else {
-    for (auto& exec : b.executors) {
-      for (auto sid : exec.spec().sensor_ids) {
-        SensorStream stream;
-        stream.sensor_id = sid;
-        stream.sensor = b.sensors[sid].get();
-        stream.bus = b.buses[sid];
-        stream.mode = exec.mode();
-        stream.subscribers = {&exec};
-        b.streams.push_back(std::move(stream));
-      }
-    }
-  }
+  for (auto& hub : hubs) hub.start();
 
-  // IRQ lines: one per per-sample stream, one per batched/offloaded app.
-  // Streams also get their fault model seeded here.
-  for (auto& st : b.streams) {
-    st.fault_prob = scenario_.world.sensor_fault_prob;
-    st.fault_rng = b.rng.fork();
-    if (st.mode == AppMode::kPerSample) {
-      st.line = b.hub->irq().allocate_line("stream_" + st.sensor->spec().id);
-    }
-  }
-  for (auto& exec : b.executors) {
-    if (exec.mode() != AppMode::kPerSample) {
-      exec.set_completion_line(
-          b.hub->irq().allocate_line(std::string{apps::code_of(exec.id())} + "_done"));
-    }
-  }
+  sim.run();
+  sim.check_processes();
+  assert(sim.all_processes_done());
+  for (auto& hub : hubs) hub.flush_power();
 
-  // Spawn everything.
-  for (auto& st : b.streams) {
-    b.sim.spawn(stream_sampler(b, &st));
-    if (st.mode == AppMode::kPerSample) {
-      b.sim.spawn(stream_cpu_handler(b, &st));
-    }
-  }
-  for (auto& exec : b.executors) {
-    b.sim.spawn(exec.cpu_loop());
-    if (exec.mode() != AppMode::kPerSample) {
-      b.sim.spawn(exec.mcu_loop());
-    }
-  }
-
-  b.sim.run();
-  b.sim.check_processes();
-  assert(b.sim.all_processes_done());
-  b.hub->flush_power();
-
-  // Harvest.
+  // Harvest: fleet-level totals from the shared ledger, one HubResult per
+  // hub from its component slice.
   ScenarioResult result;
   result.scheme = scenario_.scheme;
-  result.span = b.sim.now() - sim::SimTime::origin();
-  result.energy = energy::EnergyReport::from_accountant(b.acct, result.span);
-  result.plan = plan;
-  result.notes = b.notes;
-  result.interrupts_raised = b.hub->irq().raised_count();
-  result.sensor_read_errors = b.sensor_read_errors;
-  result.cpu_wakeups = b.hub->cpu().wakeup_count();
-  result.qos_met = b.qos.all_met();
-  result.qos_summary = b.qos.summary();
-  result.power_trace = b.power_trace;
-  for (auto& exec : b.executors) {
-    result.apps.emplace(exec.id(), exec.build_result());
+  result.span = sim.now() - sim::SimTime::origin();
+  result.energy = energy::EnergyReport::from_accountant(acct, result.span);
+  result.power_trace = power_trace;
+  result.qos_met = true;
+  for (const auto& hub : hubs) {
+    HubResult hr = hub.harvest(acct, result.span);
+    result.interrupts_raised += hr.interrupts_raised;
+    result.cpu_wakeups += hr.cpu_wakeups;
+    result.sensor_read_errors += hr.sensor_read_errors;
+    result.qos_met = result.qos_met && hr.qos_met;
+    result.hubs.push_back(std::move(hr));
+  }
+
+  if (!scenario_.multi_hub()) {
+    // Legacy single-hub view: the flat fields mirror the only hub.
+    const HubResult& only = result.hubs.front();
+    result.apps = only.apps;
+    result.plan = only.plan;
+    result.notes = only.notes;
+    result.qos_summary = only.qos_summary;
+  } else {
+    // Fleet: per-app sections live per hub; the flat summary names hubs.
+    for (const HubResult& hr : result.hubs) {
+      if (hr.qos_summary.empty()) continue;
+      std::string block = hr.qos_summary;
+      // Indent each app line under its hub heading.
+      result.qos_summary += hr.name + ":\n";
+      std::size_t pos = 0;
+      while (pos < block.size()) {
+        const std::size_t eol = block.find('\n', pos);
+        const std::size_t end = eol == std::string::npos ? block.size() : eol;
+        result.qos_summary += "  " + block.substr(pos, end - pos) + "\n";
+        pos = end + 1;
+      }
+    }
   }
   return result;
 }

@@ -1,16 +1,20 @@
-// Assembles a Scenario into a live simulation — hub, sensors, streams,
-// executors — runs it to completion and collects the ScenarioResult.
+// Assembles a Scenario into a live simulation and runs it to completion.
+//
+// The per-hub machinery (hub hardware, sensors, streams, executors, offload
+// plan, QoS) lives in core::HubRuntime; the runner's job is the fleet shape:
+// resolve the scenario's hub list (one legacy hub or a count-expanded
+// HubInstance fleet), drive every HubRuntime from one shared Simulator and
+// one shared EnergyAccountant, and collect the fleet-level plus per-hub
+// sections of the ScenarioResult.
 #pragma once
 
-#include <deque>
-#include <map>
-#include <memory>
-#include <string>
-
-#include "core/app_executor.h"
-#include "core/offload_planner.h"
 #include "core/reports.h"
 #include "core/scenario.h"
+// Part of this header's established surface: consumers of the runner build
+// hubs and simulators of their own (benches, examples) and have always
+// reached those types through this include.
+#include "hw/iot_hub.h"
+#include "sim/simulator.h"
 
 namespace iotsim::core {
 
@@ -24,13 +28,6 @@ class ScenarioRunner {
   [[nodiscard]] ScenarioResult run();
 
  private:
-  struct Build;  // all per-run state (simulator, hub, streams, executors)
-
-  [[nodiscard]] sim::Task<void> stream_sampler(Build& b, SensorStream* stream);
-  [[nodiscard]] sim::Task<void> stream_cpu_handler(Build& b, SensorStream* stream);
-
-  [[nodiscard]] AppMode mode_for(apps::AppId id, const OffloadPlan& plan) const;
-
   Scenario scenario_;
 };
 

@@ -44,27 +44,12 @@ ScenarioResult invalid_result(const Scenario& sc, std::vector<ScenarioError> err
   return r;
 }
 
-}  // namespace
+void append_app_list(ByteSink& s, const std::vector<apps::AppId>& ids) {
+  s.size(ids.size());
+  for (apps::AppId id : ids) s.u8(static_cast<std::uint8_t>(id));
+}
 
-std::string scenario_key(const Scenario& sc) {
-  // Keep in sync with the fields of Scenario, sensors::WorldConfig,
-  // hw::HubSpec and the energy::*PowerSpec structs (see the note in
-  // core/scenario.h). A version tag guards persisted keys against layout
-  // drift.
-  ByteSink s;
-  s.u64(0x696F7453696D3031ull);  // "iotSim01"
-
-  s.size(sc.app_ids.size());
-  for (apps::AppId id : sc.app_ids) s.u8(static_cast<std::uint8_t>(id));
-  s.u8(static_cast<std::uint8_t>(sc.scheme));
-  s.i32(sc.windows);
-  s.u64(sc.seed);
-  s.u8(sc.record_power_trace ? 1 : 0);
-  s.i32(sc.batch_flushes_per_window);
-  s.f64(sc.mcu_speed_factor);
-
-  // --- world ---
-  const auto& w = sc.world;
+void append_world(ByteSink& s, const sensors::WorldConfig& w) {
   s.size(w.quakes.size());
   for (const auto& q : w.quakes) {
     s.f64(q.start_s);
@@ -80,9 +65,9 @@ std::string scenario_key(const Scenario& sc) {
   s.f64(w.heart_irregular_prob);
   s.f64(w.walking_cadence_hz);
   s.f64(w.sensor_fault_prob);
+}
 
-  // --- hub ---
-  const auto& h = sc.hub;
+void append_hub_spec(ByteSink& s, const hw::HubSpec& h) {
   s.f64(h.cpu.active_w);
   s.f64(h.cpu.busy_w);
   s.f64(h.cpu.light_sleep_w);
@@ -118,6 +103,38 @@ std::string scenario_key(const Scenario& sc) {
   s.dur(h.mcu_buffer_store);
   s.f64(h.cpu_nominal_mips);
   s.f64(h.mcu_nominal_mips);
+}
+
+}  // namespace
+
+std::string scenario_key(const Scenario& sc) {
+  // Keep in sync with the fields of Scenario, sensors::WorldConfig,
+  // hw::HubSpec, core::HubInstance and the energy::*PowerSpec structs (see
+  // the note in core/scenario.h; tests/core/test_scenario_key.cpp mutates
+  // every field). A version tag guards persisted keys against layout drift.
+  ByteSink s;
+  s.u64(0x696F7453696D3032ull);  // "iotSim02"
+
+  append_app_list(s, sc.app_ids);
+  s.u8(static_cast<std::uint8_t>(sc.scheme));
+  s.i32(sc.windows);
+  s.u64(sc.seed);
+  s.u8(sc.record_power_trace ? 1 : 0);
+  s.i32(sc.batch_flushes_per_window);
+  s.f64(sc.mcu_speed_factor);
+
+  append_world(s, sc.world);
+  append_hub_spec(s, sc.hub);
+
+  // --- fleet ---
+  s.size(sc.hubs.size());
+  for (const auto& inst : sc.hubs) {
+    append_hub_spec(s, inst.hub);
+    append_app_list(s, inst.app_ids);
+    s.u8(inst.world.has_value() ? 1 : 0);
+    if (inst.world) append_world(s, *inst.world);
+    s.i32(inst.count);
+  }
 
   return std::move(s).take();
 }

@@ -5,10 +5,20 @@
 namespace iotsim::energy {
 
 EnergyReport EnergyReport::from_accountant(const EnergyAccountant& acct, sim::Duration elapsed) {
+  return from_accountant(acct, elapsed, std::string_view{});
+}
+
+EnergyReport EnergyReport::from_accountant(const EnergyAccountant& acct, sim::Duration elapsed,
+                                           std::string_view component_prefix) {
   EnergyReport r;
   r.elapsed_ = elapsed;
   for (ComponentId c = 0; c < acct.component_count(); ++c) {
-    auto& row = r.component_j_[acct.component_name(c)];
+    const std::string& name = acct.component_name(c);
+    if (!component_prefix.empty() &&
+        std::string_view{name}.substr(0, component_prefix.size()) != component_prefix) {
+      continue;
+    }
+    auto& row = r.component_j_[name];
     for (Routine rt : kAllRoutines) {
       const double j = acct.joules(c, rt);
       row[index_of(rt)] += j;

@@ -6,6 +6,7 @@
 #include <array>
 #include <map>
 #include <string>
+#include <string_view>
 
 #include "energy/energy_accountant.h"
 #include "energy/routine.h"
@@ -20,6 +21,13 @@ class EnergyReport {
   /// Snapshots the accountant's ledger. `elapsed` is the simulated span the
   /// ledger covers.
   static EnergyReport from_accountant(const EnergyAccountant& acct, sim::Duration elapsed);
+
+  /// Snapshots only the components whose name starts with `component_prefix`
+  /// — the per-hub slice of a fleet run's shared ledger (prefix "hub0/").
+  /// An empty prefix matches everything. The accounting invariant
+  /// (Σ routine == Σ component == ∫P dt) holds per slice by construction.
+  static EnergyReport from_accountant(const EnergyAccountant& acct, sim::Duration elapsed,
+                                      std::string_view component_prefix);
 
   [[nodiscard]] double joules(Routine r) const { return routine_j_[index_of(r)]; }
   [[nodiscard]] double total_joules() const;

@@ -5,24 +5,28 @@
 
 namespace iotsim::hw {
 
-IotHub::IotHub(sim::Simulator& sim, energy::EnergyAccountant& acct, HubSpec spec)
+IotHub::IotHub(sim::Simulator& sim, energy::EnergyAccountant& acct, HubSpec spec,
+               std::string name)
     : sim_{sim},
       acct_{acct},
+      name_{std::move(name)},
+      prefix_{name_.empty() ? std::string{} : name_ + "/"},
       spec_{spec},
-      cpu_{sim, acct, spec_.cpu, spec_.cpu_nominal_mips},
-      mcu_{sim, acct, spec_.mcu, spec_.mcu_nominal_mips, spec_.mcu_available_ram()},
-      link_{sim, acct, "link", spec_.link_bus},
-      main_nic_{sim, acct, "main_nic", spec_.main_nic},
-      mcu_nic_{sim, acct, "mcu_nic", spec_.mcu_nic},
+      cpu_{sim, acct, spec_.cpu, spec_.cpu_nominal_mips, prefix_ + "cpu"},
+      mcu_{sim, acct, spec_.mcu, spec_.mcu_nominal_mips, spec_.mcu_available_ram(),
+           prefix_ + "mcu"},
+      link_{sim, acct, prefix_ + "link", spec_.link_bus},
+      main_nic_{sim, acct, prefix_ + "main_nic", spec_.main_nic},
+      mcu_nic_{sim, acct, prefix_ + "mcu_nic", spec_.mcu_nic},
       irq_{cpu_, mcu_, spec_.interrupt_raise, spec_.interrupt_dispatch},
       main_base_{sim,
                  acct,
-                 acct.register_component("main_board_base"),
+                 acct.register_component(prefix_ + "main_board_base"),
                  {{"on", spec_.main_board_base_w, false}},
                  0},
       mcu_base_{sim,
                 acct,
-                acct.register_component("mcu_board_base"),
+                acct.register_component(prefix_ + "mcu_board_base"),
                 {{"on", spec_.mcu_board_base_w, false}},
                 0} {}
 
@@ -30,7 +34,7 @@ Bus& IotHub::add_pio_bus(const std::string& sensor_name) {
   // Accountant component names must be unique enough for reporting; prefix
   // keeps sensor buses recognisable.
   pio_buses_.push_back(
-      std::make_unique<Bus>(sim_, acct_, "pio_" + sensor_name, spec_.pio_bus));
+      std::make_unique<Bus>(sim_, acct_, prefix_ + "pio_" + sensor_name, spec_.pio_bus));
   return *pio_buses_.back();
 }
 

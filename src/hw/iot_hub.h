@@ -24,8 +24,18 @@ namespace iotsim::hw {
 
 class IotHub {
  public:
-  IotHub(sim::Simulator& sim, energy::EnergyAccountant& acct, HubSpec spec);
+  /// `name` scopes this hub's components in the shared EnergyAccountant:
+  /// empty (the default, and the single-hub back-compat path) registers the
+  /// historical flat names ("cpu", "mcu", …); a fleet runner passes "hub0",
+  /// "hub1", … and every component becomes "hub0/cpu", "hub0/mcu", … so one
+  /// ledger can account many hubs side by side.
+  IotHub(sim::Simulator& sim, energy::EnergyAccountant& acct, HubSpec spec,
+         std::string name = {});
 
+  [[nodiscard]] const std::string& name() const { return name_; }
+  /// "" for an unnamed hub, "<name>/" otherwise — every component this hub
+  /// registered starts with it (the per-hub slice key for energy reports).
+  [[nodiscard]] const std::string& component_prefix() const { return prefix_; }
   [[nodiscard]] const HubSpec& spec() const { return spec_; }
   [[nodiscard]] Cpu& cpu() { return cpu_; }
   [[nodiscard]] Mcu& mcu() { return mcu_; }
@@ -49,19 +59,21 @@ class IotHub {
   /// Attaches every component's power machine to a trace.
   template <typename Trace>
   void attach_trace(Trace& trace) {
-    trace.attach(cpu_.power(), "cpu");
-    trace.attach(mcu_.power(), "mcu");
-    trace.attach(link_.power(), "link");
-    trace.attach(main_nic_.power(), "main_nic");
-    trace.attach(mcu_nic_.power(), "mcu_nic");
-    trace.attach(main_base_, "main_board_base");
-    trace.attach(mcu_base_, "mcu_board_base");
+    trace.attach(cpu_.power(), prefix_ + "cpu");
+    trace.attach(mcu_.power(), prefix_ + "mcu");
+    trace.attach(link_.power(), prefix_ + "link");
+    trace.attach(main_nic_.power(), prefix_ + "main_nic");
+    trace.attach(mcu_nic_.power(), prefix_ + "mcu_nic");
+    trace.attach(main_base_, prefix_ + "main_board_base");
+    trace.attach(mcu_base_, prefix_ + "mcu_board_base");
     for (auto& b : pio_buses_) trace.attach(b->power(), b->name());
   }
 
  private:
   sim::Simulator& sim_;
   energy::EnergyAccountant& acct_;
+  std::string name_;
+  std::string prefix_;  // "" or name_ + "/"; must precede the components
   HubSpec spec_;
   Cpu cpu_;
   Mcu mcu_;

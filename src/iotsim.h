@@ -76,6 +76,7 @@
 
 // The paper's schemes.
 #include "core/comparison.h"
+#include "core/hub_runtime.h"
 #include "core/offload_planner.h"
 #include "core/qos.h"
 #include "core/reports.h"

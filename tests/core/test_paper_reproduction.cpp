@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include "core/scenario_runner.h"
+#include "hw/iot_hub.h"
+#include "sim/simulator.h"
 
 namespace iotsim::core {
 namespace {
