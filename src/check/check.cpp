@@ -1,0 +1,76 @@
+#include "check/check.h"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace iotsim::check {
+
+namespace {
+
+void default_handler(const FailureInfo& info) {
+  std::fprintf(stderr, "iotsim check failed at %s:%d\n  condition: %s\n", info.file, info.line,
+               info.condition);
+  if (!info.message.empty()) {
+    std::fprintf(stderr, "  context:   %s\n", info.message.c_str());
+  }
+  std::fflush(stderr);
+}
+
+// Relaxed atomics are sufficient: the handler is installed before any
+// concurrent sweep starts (tests) or never changed at all (production).
+std::atomic<Handler> g_handler{&default_handler};
+
+std::string describe(const FailureInfo& info) {
+  std::string out = "check failed: ";
+  out += info.condition;
+  out += " [";
+  out += info.file;
+  out += ":";
+  out += std::to_string(info.line);
+  out += "]";
+  if (!info.message.empty()) {
+    out += " — ";
+    out += info.message;
+  }
+  return out;
+}
+
+}  // namespace
+
+Handler set_failure_handler(Handler h) {
+  return g_handler.exchange(h != nullptr ? h : &default_handler);
+}
+
+CheckFailure::CheckFailure(const FailureInfo& info) : std::runtime_error{describe(info)} {}
+
+void throwing_handler(const FailureInfo& info) { throw CheckFailure{info}; }
+
+void fail(const char* file, int line, const char* condition, std::string message) {
+  const FailureInfo info{file, line, condition, std::move(message)};
+  g_handler.load()(info);
+  // A returning handler (e.g. the default, which only prints) must not let
+  // execution continue past a violated invariant.
+  std::abort();
+}
+
+std::string format() { return {}; }
+
+std::string format(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+
+}  // namespace iotsim::check

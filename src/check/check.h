@@ -1,0 +1,155 @@
+// Runtime invariant checks with formatted failure context.
+//
+// `IOTSIM_CHECK(cond, fmt, ...)` and the `IOTSIM_CHECK_<OP>` comparison
+// family guard the simulator's load-bearing invariants (event-time
+// monotonicity, energy conservation, power-state legality, resource
+// bounds). Unlike `assert`, a failure carries printf-formatted context —
+// sim time, component name, hub scope — so a violation deep inside a
+// thousand-scenario sweep is diagnosable from the message alone.
+//
+// Enablement:
+//   * Debug builds (no NDEBUG): always on.
+//   * Release builds: opt-in via -DIOTSIM_CHECKS=ON (defines
+//     IOTSIM_ENABLE_CHECKS for every target in the tree).
+// When disabled, conditions and message arguments are type-checked but
+// never evaluated — zero runtime cost.
+//
+// On failure the installed handler runs; the default prints the failure
+// to stderr and aborts. Tests install `throwing_handler` (via
+// `ScopedFailureHandler`) to assert that an invariant fires.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#if defined(IOTSIM_ENABLE_CHECKS) || !defined(NDEBUG)
+#define IOTSIM_CHECKS_ENABLED 1
+#else
+#define IOTSIM_CHECKS_ENABLED 0
+#endif
+
+namespace iotsim::check {
+
+/// Everything known about one failed check, as handed to the handler.
+struct FailureInfo {
+  const char* file;
+  int line;
+  const char* condition;  // stringified expression
+  std::string message;    // caller-formatted context (may be empty)
+};
+
+using Handler = void (*)(const FailureInfo&);
+
+/// Installs a process-wide failure handler, returning the previous one.
+/// The default handler prints to stderr and aborts.
+Handler set_failure_handler(Handler h);
+
+/// Thrown by `throwing_handler` so tests can observe a firing invariant.
+class CheckFailure : public std::runtime_error {
+ public:
+  explicit CheckFailure(const FailureInfo& info);
+};
+
+/// A handler that throws CheckFailure instead of aborting.
+void throwing_handler(const FailureInfo& info);
+
+/// RAII: installs `h` for the current scope, restoring the previous
+/// handler on destruction. Test-only convenience.
+class ScopedFailureHandler {
+ public:
+  explicit ScopedFailureHandler(Handler h) : previous_{set_failure_handler(h)} {}
+  ~ScopedFailureHandler() { set_failure_handler(previous_); }
+  ScopedFailureHandler(const ScopedFailureHandler&) = delete;
+  ScopedFailureHandler& operator=(const ScopedFailureHandler&) = delete;
+
+ private:
+  Handler previous_;
+};
+
+/// Routes a failed check to the current handler. If the handler returns,
+/// aborts — a failed invariant never continues.
+[[noreturn]] void fail(const char* file, int line, const char* condition, std::string message);
+
+/// printf-style message formatting for check macros.
+[[nodiscard]] std::string format();
+[[nodiscard]] __attribute__((format(printf, 1, 2))) std::string format(const char* fmt, ...);
+
+namespace detail {
+
+/// Best-effort value rendering for CHECK_<OP> messages: prefers a
+/// `to_string()` member (SimTime, Duration), falls back to std::to_string
+/// for arithmetic types, else an opaque placeholder.
+template <typename T>
+std::string repr(const T& v) {
+  if constexpr (requires { v.to_string(); }) {
+    return v.to_string();
+  } else if constexpr (requires { std::to_string(v); }) {
+    return std::to_string(v);
+  } else if constexpr (requires { std::string{v}; }) {
+    return std::string{v};
+  } else {
+    return "<value>";
+  }
+}
+
+template <typename A, typename B>
+std::string op_message(const A& a, const B& b, std::string extra) {
+  std::string out = "lhs=" + repr(a) + " rhs=" + repr(b);
+  if (!extra.empty()) {
+    out += "; ";
+    out += extra;
+  }
+  return out;
+}
+
+}  // namespace detail
+}  // namespace iotsim::check
+
+#if IOTSIM_CHECKS_ENABLED
+
+#define IOTSIM_CHECK(cond, ...)                                         \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::iotsim::check::fail(__FILE__, __LINE__, #cond,                  \
+                            ::iotsim::check::format(__VA_ARGS__));      \
+    }                                                                   \
+  } while (0)
+
+#define IOTSIM_CHECK_OP_(a, b, op, ...)                                             \
+  do {                                                                              \
+    const auto& iotsim_chk_a_ = (a);                                                \
+    const auto& iotsim_chk_b_ = (b);                                                \
+    if (!(iotsim_chk_a_ op iotsim_chk_b_)) {                                        \
+      ::iotsim::check::fail(__FILE__, __LINE__, #a " " #op " " #b,                  \
+                            ::iotsim::check::detail::op_message(                    \
+                                iotsim_chk_a_, iotsim_chk_b_,                       \
+                                ::iotsim::check::format(__VA_ARGS__)));             \
+    }                                                                               \
+  } while (0)
+
+#else  // checks disabled: type-check but never evaluate.
+
+#define IOTSIM_CHECK(cond, ...)                                  \
+  do {                                                           \
+    if (false) {                                                 \
+      (void)(cond);                                              \
+      (void)::iotsim::check::format(__VA_ARGS__);                \
+    }                                                            \
+  } while (0)
+
+#define IOTSIM_CHECK_OP_(a, b, op, ...)                          \
+  do {                                                           \
+    if (false) {                                                 \
+      (void)((a)op(b));                                          \
+      (void)::iotsim::check::format(__VA_ARGS__);                \
+    }                                                            \
+  } while (0)
+
+#endif  // IOTSIM_CHECKS_ENABLED
+
+#define IOTSIM_CHECK_EQ(a, b, ...) IOTSIM_CHECK_OP_(a, b, ==, __VA_ARGS__)
+#define IOTSIM_CHECK_NE(a, b, ...) IOTSIM_CHECK_OP_(a, b, !=, __VA_ARGS__)
+#define IOTSIM_CHECK_LT(a, b, ...) IOTSIM_CHECK_OP_(a, b, <, __VA_ARGS__)
+#define IOTSIM_CHECK_LE(a, b, ...) IOTSIM_CHECK_OP_(a, b, <=, __VA_ARGS__)
+#define IOTSIM_CHECK_GT(a, b, ...) IOTSIM_CHECK_OP_(a, b, >, __VA_ARGS__)
+#define IOTSIM_CHECK_GE(a, b, ...) IOTSIM_CHECK_OP_(a, b, >=, __VA_ARGS__)

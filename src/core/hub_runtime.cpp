@@ -1,8 +1,8 @@
 #include "core/hub_runtime.h"
 
-#include <cassert>
 #include <utility>
 
+#include "check/check.h"
 #include "energy/energy_accountant.h"
 #include "energy/energy_report.h"
 
@@ -222,7 +222,10 @@ Task<void> HubRuntime::stream_cpu_handler(SensorStream* st) {
     AppExecutor* owner = st->subscribers.front();
     owner->add_busy(Routine::kInterrupt, hub_->spec().interrupt_dispatch);
 
-    assert(!st->pending.empty());
+    IOTSIM_CHECK(!st->pending.empty(),
+                 "hub '%s' sensor '%s': IRQ dispatched with no pending sample at t=%s",
+                 cfg_.name.c_str(), st->sensor->spec().id.c_str(),
+                 sim_.now().to_string().c_str());
     SensorStream::Pending p = std::move(st->pending.front());
     st->pending.pop_front();
 

@@ -1,8 +1,9 @@
 #include "core/scenario_runner.h"
 
-#include <cassert>
+#include <cmath>
 #include <deque>
 
+#include "check/check.h"
 #include "core/hub_runtime.h"
 #include "energy/energy_accountant.h"
 #include "trace/power_trace.h"
@@ -50,8 +51,10 @@ ScenarioResult ScenarioRunner::run() {
 
   sim.run();
   sim.check_processes();
-  assert(sim.all_processes_done());
+  IOTSIM_CHECK(sim.all_processes_done(), "simulation drained with live processes at t=%s",
+               sim.now().to_string().c_str());
   for (auto& hub : hubs) hub.flush_power();
+  acct.check_conservation();
 
   // Harvest: fleet-level totals from the shared ledger, one HubResult per
   // hub from its component slice.
@@ -61,13 +64,26 @@ ScenarioResult ScenarioRunner::run() {
   result.energy = energy::EnergyReport::from_accountant(acct, result.span);
   result.power_trace = power_trace;
   result.qos_met = true;
+  double hub_joules_sum = 0.0;
   for (const auto& hub : hubs) {
     HubResult hr = hub.harvest(acct, result.span);
+    hub_joules_sum += hr.energy.total_joules();
     result.interrupts_raised += hr.interrupts_raised;
     result.cpu_wakeups += hr.cpu_wakeups;
     result.sensor_read_errors += hr.sensor_read_errors;
     result.qos_met = result.qos_met && hr.qos_met;
     result.hubs.push_back(std::move(hr));
+  }
+  // Fleet conservation: the hub-scoped slices partition the shared ledger,
+  // so their totals must reassemble the fleet total exactly (modulo
+  // summation-order rounding). The tripwire for scope-prefix bugs.
+  {
+    const double fleet = result.energy.total_joules();
+    const double tol = 1e-9 * (std::abs(fleet) > 1.0 ? std::abs(fleet) : 1.0);
+    IOTSIM_CHECK_LE(std::abs(fleet - hub_joules_sum), tol,
+                    "per-hub energy (%.12g J over %zu hubs) does not reassemble fleet total "
+                    "(%.12g J)",
+                    hub_joules_sum, result.hubs.size(), fleet);
   }
 
   if (!scenario_.multi_hub()) {

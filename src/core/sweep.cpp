@@ -210,7 +210,7 @@ std::vector<ScenarioResult> SweepRunner::run(const std::vector<Scenario>& scenar
       }
       pool.wait_idle();
     }
-    for (auto& failure : failures) {
+    for (const auto& failure : failures) {
       if (failure) std::rethrow_exception(failure);
     }
     stats_.executed += to_run.size();

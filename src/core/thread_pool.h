@@ -13,7 +13,10 @@
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
+
+#include "check/check.h"
 
 namespace iotsim::core {
 
@@ -46,6 +49,9 @@ class ThreadPool {
   void submit(std::function<void()> job) {
     {
       std::lock_guard lock{mu_};
+      // A job submitted after the destructor began would be dropped on the
+      // floor, never run — a silent-loss bug, so it is an invariant.
+      IOTSIM_CHECK(!stopping_, "ThreadPool::submit() after shutdown began");
       queue_.push_back(std::move(job));
     }
     work_cv_.notify_one();

@@ -1,34 +1,39 @@
 #include "energy/battery.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "check/check.h"
 
 namespace iotsim::energy {
 
 Battery::Battery(double capacity_wh, double usable_fraction)
     : capacity_j_{capacity_wh * 3600.0}, usable_fraction_{usable_fraction} {
-  assert(capacity_wh > 0.0);
-  assert(usable_fraction > 0.0 && usable_fraction <= 1.0);
+  IOTSIM_CHECK_GT(capacity_wh, 0.0, "battery capacity must be positive");
+  IOTSIM_CHECK(usable_fraction > 0.0 && usable_fraction <= 1.0,
+               "usable_fraction %.3f outside (0, 1]", usable_fraction);
 }
 
 double Battery::state_of_charge() const {
-  return std::max(0.0, 1.0 - drained_j_ / usable_joules());
+  const double soc = std::max(0.0, 1.0 - drained_j_ / usable_joules());
+  IOTSIM_CHECK(soc >= 0.0 && soc <= 1.0, "state of charge %.6f outside [0, 1] (drained %.3f J)",
+               soc, drained_j_);
+  return soc;
 }
 
 bool Battery::drain(double joules) {
-  assert(joules >= 0.0);
+  IOTSIM_CHECK_GE(joules, 0.0, "cannot drain a negative amount (charge goes through recharge())");
   drained_j_ += joules;
   return !depleted();
 }
 
 sim::Duration Battery::remaining_lifetime(double watts) const {
-  assert(watts > 0.0);
+  IOTSIM_CHECK_GT(watts, 0.0, "lifetime at non-positive draw is undefined");
   const double left = std::max(0.0, usable_joules() - drained_j_);
   return sim::Duration::from_seconds(left / watts);
 }
 
 sim::Duration Battery::lifetime(double watts) const {
-  assert(watts > 0.0);
+  IOTSIM_CHECK_GT(watts, 0.0, "lifetime at non-positive draw is undefined");
   return sim::Duration::from_seconds(usable_joules() / watts);
 }
 

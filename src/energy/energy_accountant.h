@@ -54,6 +54,11 @@ class EnergyAccountant {
   /// timing breakdowns (Fig. 8).
   [[nodiscard]] sim::Duration busy_time(ComponentId c, Routine r) const;
 
+  /// Verifies the ledger invariant (Σ over components == Σ over routines,
+  /// every component total non-negative) via IOTSIM_CHECK. No-cost when
+  /// checks are disabled.
+  void check_conservation() const;
+
   void reset();
 
  private:

@@ -1,6 +1,8 @@
 #include "energy/energy_report.h"
 
-#include <cassert>
+#include <cmath>
+
+#include "check/check.h"
 
 namespace iotsim::energy {
 
@@ -21,10 +23,24 @@ EnergyReport EnergyReport::from_accountant(const EnergyAccountant& acct, sim::Du
     auto& row = r.component_j_[name];
     for (Routine rt : kAllRoutines) {
       const double j = acct.joules(c, rt);
+      IOTSIM_CHECK_GE(j, 0.0, "negative ledger cell for component '%s'", name.c_str());
       row[index_of(rt)] += j;
       r.routine_j_[index_of(rt)] += j;
       r.busy_[index_of(rt)] += acct.busy_time(c, rt);
     }
+  }
+  // Conservation: an unfiltered snapshot must carry exactly the ledger's
+  // total; a prefix-filtered one can only carry a subset of it.
+  const double total = r.total_joules();
+  const double ledger = acct.total_joules();
+  const double tol = 1e-9 * (std::abs(ledger) > 1.0 ? std::abs(ledger) : 1.0);
+  if (component_prefix.empty()) {
+    IOTSIM_CHECK_LE(std::abs(total - ledger), tol,
+                    "report total %.12g J diverges from ledger total %.12g J", total, ledger);
+  } else {
+    IOTSIM_CHECK_LE(total, ledger + tol, "scope '%.*s' reports %.12g J, more than ledger %.12g J",
+                    static_cast<int>(component_prefix.size()), component_prefix.data(), total,
+                    ledger);
   }
   return r;
 }
@@ -68,13 +84,13 @@ double EnergyReport::paper_fraction(Routine r) const {
 
 double EnergyReport::savings_vs(const EnergyReport& baseline) const {
   const double base = baseline.total_joules();
-  assert(base > 0.0);
+  IOTSIM_CHECK_GT(base, 0.0, "savings against a zero-energy baseline are undefined");
   return 1.0 - total_joules() / base;
 }
 
 double EnergyReport::normalized_to(const EnergyReport& baseline) const {
   const double base = baseline.total_joules();
-  assert(base > 0.0);
+  IOTSIM_CHECK_GT(base, 0.0, "normalizing to a zero-energy baseline is undefined");
   return total_joules() / base;
 }
 

@@ -1,8 +1,8 @@
 #include "energy/power_state_machine.h"
 
-#include <cassert>
 #include <utility>
 
+#include "check/check.h"
 #include "sim/simulator.h"
 
 namespace iotsim::energy {
@@ -17,12 +17,33 @@ PowerStateMachine::PowerStateMachine(sim::Simulator& sim, EnergyAccountant& acct
       state_{initial},
       routine_{initial_routine},
       since_{sim.now()} {
-  assert(!states_.empty());
-  assert(initial < states_.size());
+  IOTSIM_CHECK(!states_.empty(), "power state machine needs at least one state");
+  IOTSIM_CHECK_LT(initial, states_.size(), "component '%s': initial state out of range",
+                  acct_.component_name(component_).c_str());
+}
+
+void PowerStateMachine::set_transition_table(TransitionTable table) {
+  IOTSIM_CHECK_EQ(table.state_count(), states_.size(),
+                  "component '%s': transition table size mismatch",
+                  acct_.component_name(component_).c_str());
+  transitions_ = std::move(table);
+}
+
+void PowerStateMachine::check_transition(StateId to) const {
+  IOTSIM_CHECK_LT(to, states_.size(), "component '%s': state out of range at t=%s",
+                  acct_.component_name(component_).c_str(), sim_.now().to_string().c_str());
+  if (transitions_.has_value() && to != state_) {
+    IOTSIM_CHECK(transitions_->legal(state_, to),
+                 "component '%s': illegal power transition %s -> %s at t=%s",
+                 acct_.component_name(component_).c_str(), states_[state_].name.c_str(),
+                 states_[to].name.c_str(), sim_.now().to_string().c_str());
+  }
 }
 
 void PowerStateMachine::close_segment() {
   const sim::SimTime now = sim_.now();
+  IOTSIM_CHECK_GE(now, since_, "component '%s': segment would run backwards",
+                  acct_.component_name(component_).c_str());
   if (now > since_) {
     const PowerSegment seg{component_, routine_,          since_,
                            now,        states_[state_].watts, states_[state_].busy_work};
@@ -33,8 +54,8 @@ void PowerStateMachine::close_segment() {
 }
 
 void PowerStateMachine::set_state(StateId s) {
-  assert(s < states_.size());
   if (s == state_) return;
+  check_transition(s);
   close_segment();
   state_ = s;
 }
@@ -46,8 +67,8 @@ void PowerStateMachine::set_routine(Routine r) {
 }
 
 void PowerStateMachine::set(StateId s, Routine r) {
-  assert(s < states_.size());
   if (s == state_ && r == routine_) return;
+  check_transition(s);
   close_segment();
   state_ = s;
   routine_ = r;

@@ -1,6 +1,6 @@
 #include "hw/mcu.h"
 
-#include <cassert>
+#include "check/check.h"
 
 namespace iotsim::hw {
 
@@ -20,11 +20,13 @@ Mcu::Mcu(sim::Simulator& sim, energy::EnergyAccountant& acct, const energy::McuP
 bool Mcu::reserve_ram(std::size_t bytes) {
   if (reserved_ + bytes > available_ram_) return false;
   reserved_ += bytes;
+  IOTSIM_CHECK_LE(reserved_, available_ram_, "mcu '%s' RAM budget exceeded", name().c_str());
   return true;
 }
 
 void Mcu::release_ram(std::size_t bytes) {
-  assert(bytes <= reserved_);
+  IOTSIM_CHECK_LE(bytes, reserved_, "mcu '%s': releasing %zu bytes but only %zu reserved",
+                  name().c_str(), bytes, reserved_);
   reserved_ -= bytes;
 }
 

@@ -25,7 +25,31 @@ Processor::Processor(sim::Simulator& sim, energy::EnergyAccountant& acct, std::s
       spec_{std::move(spec)},
       psm_{sim, acct, acct.register_component(name_), build_states(),
            // Start as deep asleep as the spec allows: an idle hub sleeps.
-           spec_.sleep_modes.empty() ? kWait : kFirstSleep + spec_.sleep_modes.size() - 1} {}
+           spec_.sleep_modes.empty() ? kWait : kFirstSleep + spec_.sleep_modes.size() - 1} {
+  psm_.set_transition_table(build_transition_table());
+}
+
+energy::TransitionTable Processor::build_transition_table() const {
+  // The wake discipline in state-machine form: leaving a sleep state costs
+  // a transition (unless the sleep was a zero-duration transient, which
+  // exits to wait), and busy is only ever entered from wait — sleep→busy
+  // without paying the wake latency is the bug class this table catches.
+  const std::size_t n = kFirstSleep + spec_.sleep_modes.size();
+  energy::TransitionTable t{n};
+  t.allow(kBusy, kWait);
+  t.allow(kWait, kBusy);
+  t.allow(kTransition, kWait);
+  for (std::size_t i = kFirstSleep; i < n; ++i) {
+    t.allow(kBusy, i);   // post-execute idle drop (entering sleep is free)
+    t.allow(kWait, i);   // idle drop from active wait
+    t.allow(i, kTransition);  // paid wake-up
+    t.allow(i, kWait);        // zero-duration sleep transient
+    for (std::size_t j = kFirstSleep; j < n; ++j) {
+      if (i != j) t.allow(i, j);  // waiter-driven depth re-pick
+    }
+  }
+  return t;
+}
 
 std::vector<energy::PowerState> Processor::build_states() const {
   std::vector<energy::PowerState> states;

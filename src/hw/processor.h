@@ -166,6 +166,9 @@ class Processor {
   void enter_sleep(energy::PowerStateMachine::StateId state, energy::Routine attr);
 
   [[nodiscard]] std::vector<energy::PowerState> build_states() const;
+  /// Declares which power-state changes are physically legal (wake paths,
+  /// idle drops); installed on the state machine as a checked invariant.
+  [[nodiscard]] energy::TransitionTable build_transition_table() const;
 
   sim::Simulator& sim_;
   std::string name_;

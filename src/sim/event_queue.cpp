@@ -1,11 +1,13 @@
 #include "sim/event_queue.h"
 
-#include <cassert>
 #include <utility>
+
+#include "check/check.h"
 
 namespace iotsim::sim {
 
 EventId EventQueue::schedule(SimTime when, Callback cb) {
+  IOTSIM_CHECK_GE(when, SimTime::origin(), "event scheduled before simulation start");
   const EventId id = next_id_++;
   heap_.push(Entry{when, id, id});
   pending_.emplace(id, std::move(cb));
@@ -33,9 +35,15 @@ SimTime EventQueue::next_time() {
 
 EventQueue::Popped EventQueue::pop() {
   drop_cancelled_front();
-  assert(!heap_.empty() && "pop() on empty EventQueue");
+  IOTSIM_CHECK(!heap_.empty(), "pop() on empty EventQueue");
   const Entry e = heap_.top();
   heap_.pop();
+  // Time monotonicity: the kernel clock never moves backwards. A violation
+  // here means heap ordering or a scheduling path is broken.
+  IOTSIM_CHECK_GE(e.time, last_popped_, "event %llu fires at t=%s, before already-popped t=%s",
+                  static_cast<unsigned long long>(e.id), e.time.to_string().c_str(),
+                  last_popped_.to_string().c_str());
+  last_popped_ = e.time;
   auto it = pending_.find(e.id);
   Popped out{e.time, e.id, std::move(it->second)};
   pending_.erase(it);
@@ -47,6 +55,7 @@ void EventQueue::clear() {
   heap_ = {};
   pending_.clear();
   live_count_ = 0;
+  last_popped_ = SimTime::origin();
 }
 
 }  // namespace iotsim::sim

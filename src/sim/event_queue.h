@@ -65,6 +65,9 @@ class EventQueue {
   std::unordered_map<EventId, Callback> pending_;
   std::uint64_t next_id_ = 1;
   std::size_t live_count_ = 0;
+  // High-water mark of popped event times; pop() checks monotonicity
+  // against it (IOTSIM_CHECK) — the kernel's core ordering invariant.
+  SimTime last_popped_ = SimTime::origin();
 };
 
 }  // namespace iotsim::sim

@@ -1,0 +1,12 @@
+// Fixture: wall-clock reads inside sim code (rule: wall-clock).
+#include <chrono>
+#include <ctime>
+
+long stamps() {
+  const auto a = std::chrono::steady_clock::now().time_since_epoch().count();
+  const auto b = std::chrono::system_clock::now().time_since_epoch().count();
+  const auto c = std::chrono::high_resolution_clock::now().time_since_epoch().count();
+  const auto d = static_cast<long>(time(nullptr));
+  const auto e = static_cast<long>(time(NULL));
+  return static_cast<long>(a + b + c) + d + e;
+}

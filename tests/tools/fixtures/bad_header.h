@@ -1,0 +1,10 @@
+// Fixture: header missing #pragma once and pulling in iostream
+// (rules: pragma-once, iostream-header).
+#ifndef BAD_HEADER_H
+#define BAD_HEADER_H
+
+#include <iostream>
+
+inline void shout() { std::cout << "loud\n"; }
+
+#endif

@@ -1,0 +1,13 @@
+// Fixture: raw allocation outside RAII (rules: raw-new, raw-delete).
+struct Blob {
+  int x = 0;
+};
+
+int churn() {
+  Blob* b = new Blob{};
+  const int x = b->x;
+  delete b;
+  int* arr = new int[16];
+  delete[] arr;
+  return x;
+}

@@ -1,0 +1,7 @@
+// Fixture: libc PRNG (rule: libc-rand).
+#include <cstdlib>
+
+int noisy() {
+  srand(42);
+  return rand() % 6;
+}

@@ -1,0 +1,8 @@
+// Fixture: non-deterministic seeding (rule: random-device).
+#include <random>
+
+int roll() {
+  std::random_device rd;
+  std::mt19937 gen{rd()};
+  return static_cast<int>(gen());
+}

@@ -1,0 +1,16 @@
+// Fixture: clean source. Identifier *substrings* (brand, renew, timeout,
+// runtime(...)) and masked regions must not be flagged.
+#include "clean.h"
+
+namespace fixture {
+
+int brand = 1;       // contains "rand" as a substring
+int renewal = 2;     // contains "new"
+int timeout_ms = 3;  // contains "time"
+
+int runtime(int x) { return x + brand + renewal + timeout_ms; }
+
+/* block comment mentioning delete ptr and time(nullptr) — masked */
+const char* kNote = "string mentioning srand( and delete[] — masked";
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// Fixture: a clean header. Mentions of rand(), new, delete and
+// steady_clock in comments or string literals must NOT be flagged.
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace fixture {
+
+class Widget {
+ public:
+  Widget() = default;
+  Widget(const Widget&) = delete;             // '= delete' is not a raw delete
+  Widget& operator=(const Widget&) = delete;  // neither is this
+
+  // A comment saying rand() or steady_clock must not trip the scanner,
+  // and neither should raw new in prose.
+  [[nodiscard]] std::string motto() const {
+    return "call rand() and new Widget at steady_clock time";
+  }
+
+ private:
+  std::unique_ptr<int> owned_ = std::make_unique<int>(7);
+};
+
+}  // namespace fixture

@@ -1,0 +1,170 @@
+// iotsim_lint coverage: every violation class is detected on a seeded
+// fixture, clean input passes, masking and allowlisting behave. Fixture
+// files live in tests/tools/fixtures (LINT_FIXTURE_DIR).
+#include "lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace iotsim::lint {
+namespace {
+
+const Config kEmpty;
+
+std::filesystem::path fixture(const std::string& name) {
+  return std::filesystem::path{LINT_FIXTURE_DIR} / name;
+}
+
+std::set<std::string> rules_of(const std::vector<Finding>& findings) {
+  std::set<std::string> out;
+  for (const auto& f : findings) out.insert(f.rule);
+  return out;
+}
+
+int count_rule(const std::vector<Finding>& findings, std::string_view rule) {
+  return static_cast<int>(std::count_if(findings.begin(), findings.end(),
+                                        [&](const Finding& f) { return f.rule == rule; }));
+}
+
+// --- each violation class is flagged -----------------------------------
+
+TEST(LintFixtures, FlagsRandomDevice) {
+  const auto findings = scan_file(fixture("bad_random_device.cpp"), kEmpty);
+  EXPECT_EQ(count_rule(findings, kRuleRandomDevice), 1);
+}
+
+TEST(LintFixtures, FlagsLibcRand) {
+  const auto findings = scan_file(fixture("bad_rand.cpp"), kEmpty);
+  EXPECT_EQ(count_rule(findings, kRuleLibcRand), 2);  // srand() and rand()
+}
+
+TEST(LintFixtures, FlagsEveryWallClockForm) {
+  const auto findings = scan_file(fixture("bad_clock.cpp"), kEmpty);
+  // steady_clock, system_clock, high_resolution_clock, time(nullptr), time(NULL)
+  EXPECT_EQ(count_rule(findings, kRuleWallClock), 5);
+}
+
+TEST(LintFixtures, FlagsRawNewAndDelete) {
+  const auto findings = scan_file(fixture("bad_new.cpp"), kEmpty);
+  EXPECT_EQ(count_rule(findings, kRuleRawNew), 2);
+  EXPECT_EQ(count_rule(findings, kRuleRawDelete), 2);
+}
+
+TEST(LintFixtures, FlagsHeaderViolations) {
+  const auto findings = scan_file(fixture("bad_header.h"), kEmpty);
+  EXPECT_EQ(count_rule(findings, kRulePragmaOnce), 1);
+  EXPECT_EQ(count_rule(findings, kRuleIostreamHeader), 1);
+}
+
+TEST(LintFixtures, FindingsCarryFileAndLine) {
+  const auto findings = scan_file(fixture("bad_rand.cpp"), kEmpty);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_NE(findings[0].file.find("bad_rand.cpp"), std::string::npos);
+  EXPECT_EQ(findings[0].line, 5);  // srand(42)
+  EXPECT_EQ(findings[1].line, 6);  // rand()
+}
+
+// --- clean input passes -------------------------------------------------
+
+TEST(LintFixtures, CleanFilesPass) {
+  EXPECT_TRUE(scan_file(fixture("clean.cpp"), kEmpty).empty());
+  EXPECT_TRUE(scan_file(fixture("clean.h"), kEmpty).empty());
+}
+
+TEST(LintFixtures, DirectoryScanAggregatesAndSorts) {
+  const auto findings = scan_paths({std::filesystem::path{LINT_FIXTURE_DIR}}, kEmpty);
+  const auto rules = rules_of(findings);
+  // Every rule class is represented across the fixture set.
+  for (std::string_view rule : kAllRules) {
+    EXPECT_TRUE(rules.contains(std::string{rule})) << "missing rule " << rule;
+  }
+  EXPECT_TRUE(std::is_sorted(findings.begin(), findings.end(),
+                             [](const Finding& a, const Finding& b) {
+                               return std::tie(a.file, a.line) < std::tie(b.file, b.line);
+                             }));
+}
+
+// --- masking ------------------------------------------------------------
+
+TEST(LintMasking, CommentsAndStringsAreInert) {
+  const std::string src =
+      "// rand() in a line comment\n"
+      "/* new Blob in a block\n   comment */\n"
+      "const char* s = \"delete everything\";\n"
+      "char c = 'x';\n";
+  EXPECT_TRUE(scan_source("probe.cpp", src, kEmpty).empty());
+}
+
+TEST(LintMasking, MaskPreservesLengthAndNewlines) {
+  const std::string src = "int a; // rand()\n\"str\\\"ing\"\n/* x\ny */ int b;\n";
+  const std::string masked = mask_comments_and_strings(src);
+  EXPECT_EQ(masked.size(), src.size());
+  EXPECT_EQ(std::count(masked.begin(), masked.end(), '\n'),
+            std::count(src.begin(), src.end(), '\n'));
+  EXPECT_EQ(masked.find("rand"), std::string::npos);
+}
+
+TEST(LintMasking, RawStringsAreInert) {
+  const std::string src = "const char* s = R\"(call rand() now)\";\nint live = 0;\n";
+  EXPECT_TRUE(scan_source("probe.cpp", src, kEmpty).empty());
+}
+
+TEST(LintMasking, DigitSeparatorsDoNotDesyncTheMasker) {
+  // A lone 1'000 must not open a char literal that swallows following code.
+  const std::string src = "long v = 1'000;\nint bad = rand();\n";
+  const auto findings = scan_source("probe.cpp", src, kEmpty);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, kRuleLibcRand);
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(LintMasking, SubstringIdentifiersAreInert) {
+  const std::string src = "int brand = 0; int renewal = 1; int timeout = 2;\n"
+                          "int operand(int x) { return x; }\n";
+  EXPECT_TRUE(scan_source("probe.cpp", src, kEmpty).empty());
+}
+
+TEST(LintMasking, DeletedFunctionsAreInert) {
+  const std::string src = "struct S { S(const S&) = delete; void* operator new(unsigned long); };\n";
+  EXPECT_TRUE(scan_source("probe.h", src + "#pragma once\n", kEmpty).empty());
+}
+
+// --- allowlist ----------------------------------------------------------
+
+TEST(LintConfig, ParsesAllowLines) {
+  std::istringstream in{
+      "# comment\n"
+      "\n"
+      "allow raw-new src/sim/arena.cpp  # trailing comment\n"
+      "allow wall-clock bench/\n"};
+  const Config cfg = parse_config(in);
+  ASSERT_EQ(cfg.allow.size(), 2u);
+  EXPECT_TRUE(allowed(cfg, "raw-new", "src/sim/arena.cpp"));
+  EXPECT_FALSE(allowed(cfg, "raw-delete", "src/sim/arena.cpp"));
+  EXPECT_TRUE(allowed(cfg, "wall-clock", "bench/fig01.cpp"));
+  EXPECT_FALSE(allowed(cfg, "wall-clock", "src/sim/simulator.cpp"));
+}
+
+TEST(LintConfig, RejectsMalformedLines) {
+  std::istringstream bad_directive{"deny raw-new foo\n"};
+  EXPECT_THROW(parse_config(bad_directive), std::runtime_error);
+  std::istringstream missing_field{"allow raw-new\n"};
+  EXPECT_THROW(parse_config(missing_field), std::runtime_error);
+  std::istringstream unknown_rule{"allow not-a-rule foo\n"};
+  EXPECT_THROW(parse_config(unknown_rule), std::runtime_error);
+}
+
+TEST(LintConfig, AllowlistSuppressesFindings) {
+  std::istringstream in{"allow raw-new bad_new.cpp\nallow raw-delete bad_new.cpp\n"};
+  const Config cfg = parse_config(in);
+  EXPECT_TRUE(scan_file(fixture("bad_new.cpp"), cfg).empty());
+  // Other files keep their findings.
+  EXPECT_FALSE(scan_file(fixture("bad_rand.cpp"), cfg).empty());
+}
+
+}  // namespace
+}  // namespace iotsim::lint

@@ -1,0 +1,282 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+
+namespace iotsim::lint {
+
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_known_rule(std::string_view rule) {
+  return std::find(std::begin(kAllRules), std::end(kAllRules), rule) != std::end(kAllRules);
+}
+
+/// 1-based line number of byte offset `pos` in `text`.
+int line_of(std::string_view text, std::size_t pos) {
+  return 1 + static_cast<int>(std::count(text.begin(), text.begin() + static_cast<long>(pos), '\n'));
+}
+
+/// First non-space/tab character before `pos`, or '\0'.
+char prev_nonblank(std::string_view text, std::size_t pos) {
+  while (pos > 0) {
+    const char c = text[--pos];
+    if (c != ' ' && c != '\t' && c != '\n') return c;
+  }
+  return '\0';
+}
+
+/// The identifier ending immediately before the blanks preceding `pos`
+/// ("operator" in "operator new"), or empty.
+std::string_view prev_identifier(std::string_view text, std::size_t pos) {
+  while (pos > 0 && (text[pos - 1] == ' ' || text[pos - 1] == '\t' || text[pos - 1] == '\n')) {
+    --pos;
+  }
+  std::size_t end = pos;
+  while (pos > 0 && is_ident_char(text[pos - 1])) --pos;
+  return text.substr(pos, end - pos);
+}
+
+/// First non-blank character at or after `pos`, or '\0'.
+char next_nonblank(std::string_view text, std::size_t pos) {
+  while (pos < text.size()) {
+    const char c = text[pos++];
+    if (c != ' ' && c != '\t' && c != '\n') return c;
+  }
+  return '\0';
+}
+
+/// Calls `fn(identifier, offset)` for every maximal identifier in `text`.
+template <typename Fn>
+void for_each_identifier(std::string_view text, Fn&& fn) {
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (is_ident_char(text[i]) && std::isdigit(static_cast<unsigned char>(text[i])) == 0) {
+      std::size_t j = i + 1;
+      while (j < text.size() && is_ident_char(text[j])) ++j;
+      fn(text.substr(i, j - i), i);
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+}
+
+/// True when `text` at `pos` is a call of the form `ident ( literal )` with
+/// `literal` ∈ {nullptr, NULL}; `pos` points just past `ident`.
+bool is_wall_time_call(std::string_view text, std::size_t pos) {
+  while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t')) ++pos;
+  if (pos >= text.size() || text[pos] != '(') return false;
+  ++pos;
+  while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t')) ++pos;
+  for (std::string_view lit : {std::string_view{"nullptr"}, std::string_view{"NULL"}}) {
+    if (text.substr(pos, lit.size()) == lit) return true;
+  }
+  return false;
+}
+
+struct RuleHit {
+  std::string_view rule;
+  std::size_t offset;
+  std::string detail;
+};
+
+void scan_identifiers(std::string_view masked, bool is_header, std::vector<RuleHit>& hits) {
+  for_each_identifier(masked, [&](std::string_view ident, std::size_t off) {
+    if (ident == "random_device") {
+      hits.push_back({kRuleRandomDevice, off,
+                      "std::random_device is non-deterministic; fork the scenario's sim::Rng"});
+    } else if (ident == "rand" || ident == "srand") {
+      if (next_nonblank(masked, off + ident.size()) == '(') {
+        hits.push_back({kRuleLibcRand, off,
+                        "libc " + std::string{ident} + "() bypasses the seeded sim::Rng"});
+      }
+    } else if (ident == "system_clock" || ident == "steady_clock" ||
+               ident == "high_resolution_clock") {
+      hits.push_back({kRuleWallClock, off,
+                      "std::chrono::" + std::string{ident} +
+                          " is wall-clock time; sim code must use sim::SimTime"});
+    } else if (ident == "time") {
+      if (is_wall_time_call(masked, off + ident.size())) {
+        hits.push_back({kRuleWallClock, off, "time(nullptr/NULL) reads the wall clock"});
+      }
+    } else if (ident == "new") {
+      if (prev_identifier(masked, off) != "operator") {
+        hits.push_back({kRuleRawNew, off,
+                        "raw new; use std::make_unique/std::vector (allowlist arenas)"});
+      }
+    } else if (ident == "delete") {
+      const char before = prev_nonblank(masked, off);
+      if (before != '=' && prev_identifier(masked, off) != "operator") {
+        hits.push_back({kRuleRawDelete, off, "raw delete; ownership belongs in RAII types"});
+      }
+    } else if (ident == "iostream" && is_header) {
+      // Matched as the include payload: "#include <iostream>" keeps the
+      // token outside any literal, so it survives masking.
+      hits.push_back({kRuleIostreamHeader, off,
+                      "library headers must not pull in <iostream> (init-order + bloat)"});
+    }
+  });
+}
+
+void append_sorted(std::vector<Finding>& out, std::vector<Finding> more) {
+  out.insert(out.end(), std::make_move_iterator(more.begin()),
+             std::make_move_iterator(more.end()));
+}
+
+}  // namespace
+
+Config parse_config(std::istream& in) {
+  Config cfg;
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    std::string_view sv{raw};
+    if (const auto hash = sv.find('#'); hash != std::string_view::npos) sv = sv.substr(0, hash);
+    std::istringstream fields{std::string{sv}};
+    std::string directive;
+    if (!(fields >> directive)) continue;  // blank / comment-only line
+    if (directive != "allow") {
+      throw std::runtime_error("lint config line " + std::to_string(lineno) +
+                               ": unknown directive '" + directive + "'");
+    }
+    AllowEntry entry;
+    if (!(fields >> entry.rule >> entry.path_substring)) {
+      throw std::runtime_error("lint config line " + std::to_string(lineno) +
+                               ": expected 'allow <rule> <path-substring>'");
+    }
+    if (!is_known_rule(entry.rule)) {
+      throw std::runtime_error("lint config line " + std::to_string(lineno) +
+                               ": unknown rule '" + entry.rule + "'");
+    }
+    cfg.allow.push_back(std::move(entry));
+  }
+  return cfg;
+}
+
+Config load_config(const std::filesystem::path& file) {
+  std::ifstream in{file};
+  if (!in) throw std::runtime_error("cannot open lint config: " + file.string());
+  return parse_config(in);
+}
+
+bool allowed(const Config& cfg, std::string_view rule, std::string_view file) {
+  return std::any_of(cfg.allow.begin(), cfg.allow.end(), [&](const AllowEntry& e) {
+    return e.rule == rule && file.find(e.path_substring) != std::string_view::npos;
+  });
+}
+
+std::string mask_comments_and_strings(std::string_view src) {
+  std::string out{src};
+  std::size_t i = 0;
+  const auto blank = [&](std::size_t from, std::size_t to) {
+    for (std::size_t k = from; k < to && k < out.size(); ++k) {
+      if (out[k] != '\n') out[k] = ' ';
+    }
+  };
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      std::size_t end = src.find('\n', i);
+      if (end == std::string_view::npos) end = src.size();
+      blank(i, end);
+      i = end;
+    } else if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      std::size_t end = src.find("*/", i + 2);
+      end = end == std::string_view::npos ? src.size() : end + 2;
+      blank(i, end);
+      i = end;
+    } else if (c == 'R' && i + 1 < src.size() && src[i + 1] == '"') {
+      // Raw string: R"delim( ... )delim"
+      const std::size_t open = src.find('(', i + 2);
+      if (open == std::string_view::npos) {
+        ++i;
+        continue;
+      }
+      const std::string closer =
+          ")" + std::string{src.substr(i + 2, open - (i + 2))} + "\"";
+      std::size_t end = src.find(closer, open + 1);
+      end = end == std::string_view::npos ? src.size() : end + closer.size();
+      blank(i, end);
+      i = end;
+    } else if (c == '\'' && i > 0 && std::isalnum(static_cast<unsigned char>(src[i - 1])) != 0 &&
+               i + 1 < src.size() && std::isalnum(static_cast<unsigned char>(src[i + 1])) != 0) {
+      // Digit separator (1'000'000), not a char literal.
+      ++i;
+    } else if (c == '"' || c == '\'') {
+      std::size_t j = i + 1;
+      while (j < src.size() && src[j] != c) {
+        j += src[j] == '\\' ? 2 : 1;
+      }
+      const std::size_t end = j < src.size() ? j + 1 : src.size();
+      blank(i + 1, end - 1);  // keep the quotes, blank the payload
+      i = end;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::vector<Finding> scan_source(std::string_view display_path, std::string_view content,
+                                 const Config& cfg) {
+  const bool is_header = display_path.ends_with(".h");
+  const std::string masked = mask_comments_and_strings(content);
+
+  std::vector<RuleHit> hits;
+  scan_identifiers(masked, is_header, hits);
+  if (is_header && masked.find("#pragma once") == std::string::npos) {
+    hits.push_back({kRulePragmaOnce, 0, "header is missing #pragma once"});
+  }
+
+  std::vector<Finding> findings;
+  for (RuleHit& hit : hits) {
+    if (allowed(cfg, hit.rule, display_path)) continue;
+    findings.push_back(Finding{std::string{display_path}, line_of(masked, hit.offset),
+                               std::string{hit.rule}, std::move(hit.detail)});
+  }
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
+  });
+  return findings;
+}
+
+std::vector<Finding> scan_file(const std::filesystem::path& file, const Config& cfg) {
+  std::ifstream in{file, std::ios::binary};
+  if (!in) throw std::runtime_error("cannot open source file: " + file.string());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return scan_source(file.generic_string(), buf.str(), cfg);
+}
+
+std::vector<Finding> scan_paths(const std::vector<std::filesystem::path>& paths,
+                                const Config& cfg) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  for (const fs::path& p : paths) {
+    if (fs::is_directory(p)) {
+      for (const auto& entry : fs::recursive_directory_iterator{p}) {
+        if (!entry.is_regular_file()) continue;
+        const std::string ext = entry.path().extension().string();
+        if (ext == ".h" || ext == ".cpp") files.push_back(entry.path());
+      }
+    } else {
+      files.push_back(p);
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> findings;
+  for (const fs::path& f : files) append_sorted(findings, scan_file(f, cfg));
+  return findings;
+}
+
+}  // namespace iotsim::lint

@@ -1,0 +1,86 @@
+// iotsim_lint — static determinism/idiom checks for the simulator tree.
+//
+// The simulator's headline guarantee is bit-identical replay: all
+// randomness flows from the seeded sim::Rng, all time from sim::SimTime.
+// Code that reaches for std::random_device, rand(), or a wall clock
+// breaks that silently — the sweep memoizer would then cache results that
+// no longer reproduce. This tool rejects those constructs (plus a few
+// tree idioms: RAII-only allocation, #pragma once, iostream-free library
+// headers) so the property holds by construction, not review.
+//
+// The scanner is deliberately lexical: comments and string/char literals
+// are masked out, then identifiers are matched with word boundaries. A
+// config file ("allow <rule> <path-substring>" lines) grants exemptions.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iotsim::lint {
+
+/// One violation at a source location.
+struct Finding {
+  std::string file;   // display path as given to the scanner
+  int line = 0;       // 1-based
+  std::string rule;   // stable rule id (see kAllRules)
+  std::string detail;
+
+  friend bool operator==(const Finding&, const Finding&) = default;
+};
+
+/// Stable rule identifiers.
+inline constexpr std::string_view kRuleRandomDevice = "random-device";
+inline constexpr std::string_view kRuleLibcRand = "libc-rand";
+inline constexpr std::string_view kRuleWallClock = "wall-clock";
+inline constexpr std::string_view kRuleRawNew = "raw-new";
+inline constexpr std::string_view kRuleRawDelete = "raw-delete";
+inline constexpr std::string_view kRulePragmaOnce = "pragma-once";
+inline constexpr std::string_view kRuleIostreamHeader = "iostream-header";
+
+inline constexpr std::string_view kAllRules[] = {
+    kRuleRandomDevice, kRuleLibcRand,   kRuleWallClock,      kRuleRawNew,
+    kRuleRawDelete,    kRulePragmaOnce, kRuleIostreamHeader,
+};
+
+/// One allowlist entry: findings of `rule` in files whose display path
+/// contains `path_substring` are suppressed.
+struct AllowEntry {
+  std::string rule;
+  std::string path_substring;
+};
+
+struct Config {
+  std::vector<AllowEntry> allow;
+};
+
+/// Parses "allow <rule> <path-substring>" lines ('#' comments, blank lines
+/// ignored). Throws std::runtime_error on a malformed line or unknown rule.
+[[nodiscard]] Config parse_config(std::istream& in);
+[[nodiscard]] Config load_config(const std::filesystem::path& file);
+
+/// True when `cfg` suppresses `rule` for `file`.
+[[nodiscard]] bool allowed(const Config& cfg, std::string_view rule, std::string_view file);
+
+/// Replaces comment bodies and string/char literal contents with spaces,
+/// preserving length and newlines so byte offsets and line numbers survive.
+/// Handles //, /* */, "..." and '...' with escapes, and R"delim(...)delim".
+[[nodiscard]] std::string mask_comments_and_strings(std::string_view src);
+
+/// Scans one in-memory source. `display_path` decides header-only rules
+/// (files ending in .h) and feeds the allowlist.
+[[nodiscard]] std::vector<Finding> scan_source(std::string_view display_path,
+                                               std::string_view content, const Config& cfg);
+
+/// Scans one file on disk.
+[[nodiscard]] std::vector<Finding> scan_file(const std::filesystem::path& file,
+                                             const Config& cfg);
+
+/// Scans files and directories (recursing into .h/.cpp). Findings are
+/// sorted by (file, line, rule) for deterministic output.
+[[nodiscard]] std::vector<Finding> scan_paths(const std::vector<std::filesystem::path>& paths,
+                                              const Config& cfg);
+
+}  // namespace iotsim::lint

@@ -1,0 +1,58 @@
+// iotsim_lint CLI: scan paths, print findings, exit non-zero when dirty.
+//
+//   iotsim_lint [--config=FILE] PATH...
+//
+// Registered as the tier-1 ctest `lint.tree_clean` over src/, so a
+// determinism or idiom violation fails the build's test stage, not a
+// reviewer's patience.
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s [--config=FILE] PATH...\n", argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::filesystem::path> paths;
+  iotsim::lint::Config cfg;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg{argv[i]};
+      if (arg.starts_with("--config=")) {
+        cfg = iotsim::lint::load_config(std::filesystem::path{std::string{arg.substr(9)}});
+      } else if (arg == "--help" || arg == "-h") {
+        return usage(argv[0]);
+      } else if (arg.starts_with("--")) {
+        std::fprintf(stderr, "unknown flag: %s\n", std::string{arg}.c_str());
+        return usage(argv[0]);
+      } else {
+        paths.emplace_back(std::string{arg});
+      }
+    }
+    if (paths.empty()) return usage(argv[0]);
+
+    const std::vector<iotsim::lint::Finding> findings = iotsim::lint::scan_paths(paths, cfg);
+    for (const auto& f : findings) {
+      std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                  f.detail.c_str());
+    }
+    if (!findings.empty()) {
+      std::fprintf(stderr, "iotsim_lint: %zu finding(s)\n", findings.size());
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "iotsim_lint: %s\n", e.what());
+    return 2;
+  }
+}
