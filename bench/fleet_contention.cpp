@@ -1,0 +1,158 @@
+// Fleet contention — what the single-hub figures can't show: 1→64 hubs of
+// mixed portfolios sharing one finite-bandwidth access point. Sweeps fleet
+// size against uplink capacity (ideal, 20/5/1 Mbit/s), reports per-hub
+// airtime-wait spread (mean and p99) plus aggregate network energy, and
+// asserts the contention model's core monotonicity: for a fixed fleet,
+// shrinking the uplink never lowers aggregate network energy or airtime wait.
+//
+// Fleet×medium combinations sweep through SweepRunner, so --jobs=N fans the
+// grid out; numbers are bit-identical at any job count.
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "bench_util.h"
+
+using namespace iotsim;
+
+namespace {
+
+// Same three portfolio classes as fleet_scale: wellness, home, telemetry.
+const std::vector<std::vector<apps::AppId>>& portfolios() {
+  using apps::AppId;
+  static const std::vector<std::vector<apps::AppId>> p = {
+      {AppId::kA2StepCounter, AppId::kA8Heartbeat},
+      {AppId::kA5Blynk, AppId::kA7Earthquake},
+      {AppId::kA3ArduinoJson, AppId::kA4M2x},
+  };
+  return p;
+}
+
+struct Uplink {
+  const char* label;
+  double bytes_per_second;  // <= 0 ⇒ ideal (infinite-capacity) medium
+};
+
+constexpr Uplink kUplinks[] = {
+    {"ideal", 0.0},
+    {"20Mbit", 2.5e6},
+    {"5Mbit", 6.25e5},
+    {"1Mbit", 1.25e5},
+};
+
+core::Scenario fleet_scenario(int hubs, const Uplink& uplink, int windows,
+                              net::BackoffPolicy backoff = net::BackoffPolicy::kFifo) {
+  auto builder = core::Scenario::builder()
+                     .scheme(core::Scheme::kBcom)
+                     .windows(windows)
+                     .world(bench::active_world());
+  const auto& mixes = portfolios();
+  for (int i = 0; i < hubs; ++i) {
+    builder.add_hub(hw::default_hub_spec(), mixes[static_cast<std::size_t>(i) % mixes.size()]);
+  }
+  if (uplink.bytes_per_second > 0.0) {
+    net::ApConfig ap;
+    ap.bytes_per_second = uplink.bytes_per_second;
+    ap.backoff = backoff;
+    builder.network(ap);
+  }
+  return builder.build();
+}
+
+struct WaitSpread {
+  double mean_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+WaitSpread wait_spread(const core::ScenarioResult& r) {
+  std::vector<double> waits;
+  waits.reserve(r.hubs.size());
+  for (const auto& hub : r.hubs) waits.push_back(hub.airtime_wait.to_ms());
+  WaitSpread s;
+  for (double w : waits) s.mean_ms += w;
+  s.mean_ms /= static_cast<double>(waits.size());
+  std::sort(waits.begin(), waits.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(0.99 * static_cast<double>(waits.size())));
+  s.p99_ms = waits[std::max<std::size_t>(rank, 1) - 1];
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Session session{bench::parse_options(argc, argv, bench::Options{0, 2})};
+  std::cout << "=== Fleet contention: 1-64 BCOM hubs behind one shared uplink ===\n\n";
+
+  const int sizes[] = {1, 2, 4, 8, 16, 32, 64};
+
+  std::vector<core::Scenario> grid;
+  for (int n : sizes) {
+    for (const auto& uplink : kUplinks) {
+      grid.push_back(fleet_scenario(n, uplink, session.windows()));
+    }
+  }
+  session.prefetch(grid);
+
+  trace::TablePrinter t{{"Hubs", "Uplink", "Net J", "Wait mean (ms)", "Wait p99 (ms)",
+                         "Util", "Retries", "Drops"}};
+  bool monotone = true;
+
+  for (int n : sizes) {
+    double prev_net_j = -1.0;
+    sim::Duration prev_wait = sim::Duration::zero();
+    for (const auto& uplink : kUplinks) {
+      const auto r = session.run(fleet_scenario(n, uplink, session.windows()));
+      if (!r.ok()) {
+        std::cerr << "fleet contention scenario invalid\n";
+        return 1;
+      }
+      const double net_j = r.energy.joules(energy::Routine::kNetwork);
+      const auto& c = r.energy.congestion();
+      const auto spread = wait_spread(r);
+
+      // Monotonicity across the shrinking uplink, per fleet size.
+      if (net_j < prev_net_j - 1e-9 || c.airtime_wait < prev_wait) {
+        std::cerr << "MONOTONICITY VIOLATION at hubs=" << n << " uplink=" << uplink.label
+                  << ": net_j " << prev_net_j << " -> " << net_j << ", wait "
+                  << prev_wait.to_ms() << " -> " << c.airtime_wait.to_ms() << " ms\n";
+        monotone = false;
+      }
+      prev_net_j = net_j;
+      prev_wait = c.airtime_wait;
+
+      using TP = trace::TablePrinter;
+      t.add_row({std::to_string(n), uplink.label, TP::num(net_j, 5),
+                 TP::num(spread.mean_ms, 4), TP::num(spread.p99_ms, 4),
+                 TP::num(c.utilization, 3), std::to_string(c.retries),
+                 std::to_string(c.drops)});
+    }
+  }
+  std::cout << t.render() << '\n';
+
+  // FIFO vs CSMA on a mid-size fleet and the mid-tier uplink: the CSMA
+  // variant re-senses with randomized backoff, so it trades extra retries
+  // (and a little extra listen energy) for no admission-order queue.
+  const Uplink mid{"5Mbit", 6.25e5};
+  trace::TablePrinter bt{{"Backoff", "Net J", "Wait mean (ms)", "Wait p99 (ms)", "Retries",
+                          "Drops"}};
+  for (auto policy : {net::BackoffPolicy::kFifo, net::BackoffPolicy::kCsma}) {
+    const auto r = session.run(fleet_scenario(16, mid, session.windows(), policy));
+    if (!r.ok()) {
+      std::cerr << "backoff scenario invalid\n";
+      return 1;
+    }
+    const auto spread = wait_spread(r);
+    const auto& c = r.energy.congestion();
+    using TP = trace::TablePrinter;
+    bt.add_row({policy == net::BackoffPolicy::kFifo ? "FIFO" : "CSMA",
+                TP::num(r.energy.joules(energy::Routine::kNetwork), 5),
+                TP::num(spread.mean_ms, 4), TP::num(spread.p99_ms, 4),
+                std::to_string(c.retries), std::to_string(c.drops)});
+  }
+  std::cout << "16 hubs, 5 Mbit/s uplink, FIFO vs CSMA backoff:\n" << bt.render() << '\n';
+
+  std::cout << "uplink-shrink monotonicity (net energy, airtime wait): "
+            << (monotone ? "holds" : "VIOLATED") << '\n';
+  return monotone ? 0 : 1;
+}

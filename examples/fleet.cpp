@@ -1,13 +1,16 @@
 // Fleet demo: a heterogeneous three-hub deployment — a wearable hub, a
 // home-sensing hub, and a duplicated pair of telemetry relays — sharing one
 // simulation clock and one energy ledger, with per-hub sections in the
-// result alongside the fleet totals.
+// result alongside the fleet totals. A second run puts the same fleet
+// behind a shared 5 Mbit/s access point to show the contention model:
+// airtime waits, retries/drops and the fleet congestion summary.
 //
 //   $ ./fleet [windows]
 #include <cstdlib>
 #include <iostream>
 
 #include "core/scenario_runner.h"
+#include "net/config.h"
 #include "trace/table_printer.h"
 
 using namespace iotsim;
@@ -70,5 +73,34 @@ int main(int argc, char** argv) {
             << " mW), QoS " << (result.qos_met ? "met on every hub" : "MISSED") << "\n\n";
 
   std::cout << "Per-hub QoS detail:\n" << result.qos_summary;
+
+  // Same fleet, but every NIC now shares one finite 5 Mbit/s uplink instead
+  // of the default infinite-capacity medium. Overlapping bursts serialize,
+  // radios idle-listen at tail power while they wait, and the result grows a
+  // congestion section.
+  core::Scenario contended = scenario;
+  net::ApConfig ap;
+  ap.bytes_per_second = 6.25e5;  // 5 Mbit/s
+  contended.network = ap;
+  const auto shared = core::run_scenario(contended);
+  if (!shared.ok()) return 1;
+
+  std::cout << "\n=== Same fleet behind a shared 5 Mbit/s access point ===\n\n";
+  trace::TablePrinter nt{{"Hub", "Airtime wait (ms)", "Grants", "Retries", "Drops"}};
+  for (const auto& hub : shared.hubs) {
+    nt.add_row({hub.name, trace::TablePrinter::num(hub.airtime_wait.to_ms(), 4),
+                std::to_string(hub.airtime_grants), std::to_string(hub.net_retries),
+                std::to_string(hub.net_drops)});
+  }
+  std::cout << nt.render() << '\n';
+
+  const auto& c = shared.energy.congestion();
+  std::cout << "Uplink utilization " << trace::TablePrinter::num(c.utilization * 100.0, 3)
+            << " %, total airtime wait " << trace::TablePrinter::num(c.airtime_wait.to_ms(), 4)
+            << " ms\nFleet network energy: ideal "
+            << trace::TablePrinter::num(result.energy.joules(energy::Routine::kNetwork) * 1e3, 5)
+            << " mJ -> shared AP "
+            << trace::TablePrinter::num(shared.energy.joules(energy::Routine::kNetwork) * 1e3, 5)
+            << " mJ\n";
   return 0;
 }

@@ -5,6 +5,7 @@
 #include "check/check.h"
 #include "energy/energy_accountant.h"
 #include "energy/energy_report.h"
+#include "net/medium.h"
 
 namespace iotsim::core {
 
@@ -15,6 +16,14 @@ using sim::Task;
 HubRuntime::HubRuntime(sim::Simulator& sim, energy::EnergyAccountant& acct, Config cfg)
     : sim_{sim}, cfg_{std::move(cfg)}, rng_{cfg_.seed} {
   hub_ = std::make_unique<hw::IotHub>(sim_, acct, cfg_.spec, cfg_.component_scope);
+
+  if (cfg_.medium != nullptr) {
+    // Backoff RNGs come from the hub seed xor fixed per-NIC salts — NOT from
+    // rng_.fork(), which would shift the fork sequence the sensors and fault
+    // models consume and perturb every existing result.
+    hub_->main_nic().attach_medium(*cfg_.medium, sim::Rng{cfg_.seed ^ 0x6D61696E5F6E6963ull});
+    hub_->mcu_nic().attach_medium(*cfg_.medium, sim::Rng{cfg_.seed ^ 0x6D63755F6E696320ull});
+  }
 
   // Offload plan (consulted by kCom / kBcom).
   OffloadPlanner planner{hub_->spec()};
@@ -254,6 +263,14 @@ HubResult HubRuntime::harvest(const energy::EnergyAccountant& acct, sim::Duratio
   hr.interrupts_raised = hub_->irq().raised_count();
   hr.cpu_wakeups = hub_->cpu().wakeup_count();
   hr.sensor_read_errors = sensor_read_errors_;
+  for (const hw::Nic* nic : {&hub_->main_nic(), &hub_->mcu_nic()}) {
+    if (const net::AirtimeStats* stats = nic->airtime_stats()) {
+      hr.airtime_wait += stats->airtime_wait;
+      hr.airtime_grants += stats->grants;
+      hr.net_retries += stats->retries;
+      hr.net_drops += stats->drops;
+    }
+  }
   hr.qos_met = qos_.all_met();
   hr.qos_summary = qos_.summary();
   for (const auto& exec : executors_) {

@@ -29,6 +29,10 @@
 #include "core/reports.h"
 #include "core/scenario.h"
 
+namespace iotsim::net {
+class Medium;
+}
+
 namespace iotsim::core {
 
 class HubRuntime {
@@ -47,6 +51,11 @@ class HubRuntime {
     int batch_flushes_per_window = 1;
     double mcu_speed_factor = 1.0;
     std::uint64_t seed = 0;
+    /// Shared medium this hub's NICs transmit through; nullptr leaves the
+    /// NICs unattached (the pre-network-layer behaviour). Must outlive the
+    /// runtime. Backoff RNG streams are derived from `seed` with fixed
+    /// salts, independent of the hub's sensor/fault streams.
+    net::Medium* medium = nullptr;
   };
 
   /// Builds the hub's hardware and app topology; registers every powered

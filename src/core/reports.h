@@ -62,6 +62,12 @@ struct HubResult {
   std::uint64_t interrupts_raised = 0;
   std::uint64_t cpu_wakeups = 0;
   std::uint64_t sensor_read_errors = 0;
+  /// Shared-uplink contention, summed over this hub's NICs (all zero when
+  /// the scenario transmits into the ideal medium).
+  sim::Duration airtime_wait;
+  std::uint64_t airtime_grants = 0;
+  std::uint64_t net_retries = 0;
+  std::uint64_t net_drops = 0;
   bool qos_met = true;
   std::string qos_summary;
 

@@ -93,6 +93,10 @@ Value hub_to_json(const HubResult& h) {
   v["interrupts_raised"] = Value{static_cast<double>(h.interrupts_raised)};
   v["cpu_wakeups"] = Value{static_cast<double>(h.cpu_wakeups)};
   v["sensor_read_errors"] = Value{static_cast<double>(h.sensor_read_errors)};
+  v["airtime_wait_ms"] = Value{h.airtime_wait.to_ms()};
+  v["airtime_grants"] = Value{static_cast<double>(h.airtime_grants)};
+  v["net_retries"] = Value{static_cast<double>(h.net_retries)};
+  v["net_drops"] = Value{static_cast<double>(h.net_drops)};
   v["qos_met"] = Value{h.qos_met};
   add_energy_json(v, h.energy);
   Value apps_v;
@@ -129,6 +133,18 @@ Value to_json(const ScenarioResult& result) {
   v["offload_plan"] = plan_to_json(result.plan);
   v["mcu_ram_used_bytes"] = Value{static_cast<double>(result.plan.mcu_ram_used)};
   v["notes"] = notes_to_json(result.notes);
+
+  {
+    const energy::CongestionSummary& c = result.energy.congestion();
+    Value net_v;
+    net_v["modeled"] = Value{c.modeled};
+    net_v["utilization"] = Value{c.utilization};
+    net_v["airtime_wait_ms"] = Value{c.airtime_wait.to_ms()};
+    net_v["grants"] = Value{static_cast<double>(c.grants)};
+    net_v["retries"] = Value{static_cast<double>(c.retries)};
+    net_v["drops"] = Value{static_cast<double>(c.drops)};
+    v["network"] = std::move(net_v);
+  }
 
   Value hubs_v;
   for (const auto& h : result.hubs) {

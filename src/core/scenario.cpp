@@ -109,6 +109,27 @@ std::vector<ScenarioError> Scenario::validate() const {
   }
   validate_fault_prob(world.sensor_fault_prob, "world.sensor_fault_prob", errors);
 
+  if (network) {
+    if (!(network->bytes_per_second > 0.0) || !std::isfinite(network->bytes_per_second)) {
+      errors.push_back({"network.bytes_per_second",
+                        "must be a positive finite bandwidth (got " +
+                            std::to_string(network->bytes_per_second) + ")"});
+    }
+    if (network->queue_depth < 1) {
+      errors.push_back({"network.queue_depth",
+                        "must be >= 1 (got " + std::to_string(network->queue_depth) + ")"});
+    }
+    if (network->backoff_slot <= sim::Duration::zero()) {
+      errors.push_back({"network.backoff_slot",
+                        "must be positive (got " + network->backoff_slot.to_string() + ")"});
+    }
+    if (network->max_backoff_exponent < 1 || network->max_backoff_exponent > 16) {
+      errors.push_back({"network.max_backoff_exponent",
+                        "must be in [1, 16] (got " +
+                            std::to_string(network->max_backoff_exponent) + ")"});
+    }
+  }
+
   return errors;
 }
 

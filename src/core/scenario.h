@@ -29,6 +29,7 @@
 #include "apps/workload_spec.h"
 #include "core/scheme.h"
 #include "hw/boards.h"
+#include "net/config.h"
 #include "sensors/sensor_catalog.h"
 
 namespace iotsim::core {
@@ -97,6 +98,11 @@ struct Scenario {
   /// Scales every app's MCU kernel time (COM sensitivity ablation:
   /// >1 = slower MCU, <1 = faster).
   double mcu_speed_factor = 1.0;
+
+  /// Shared uplink: when set, every hub's NICs contend for one
+  /// net::SharedAccessPoint of this configuration; unset ⇒ net::IdealMedium
+  /// (infinite capacity, byte-identical to the pre-network-layer model).
+  std::optional<net::ApConfig> network;
 
   /// Fleet mode: when non-empty, the scenario simulates this list of hubs
   /// (count-expanded) instead of the single legacy hub above, and the
@@ -171,6 +177,13 @@ class ScenarioBuilder {
     inst.app_ids = std::move(ids);
     inst.count = count;
     sc_.hubs.push_back(std::move(inst));
+    return *this;
+  }
+  /// Routes every hub's NICs through a shared finite-bandwidth access point
+  /// (see net::ApConfig). Without this call the fleet transmits into an
+  /// ideal infinite-capacity medium.
+  ScenarioBuilder& network(net::ApConfig cfg) {
+    sc_.network = cfg;
     return *this;
   }
   ScenarioBuilder& record_power_trace(bool on = true) {

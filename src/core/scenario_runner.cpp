@@ -2,10 +2,13 @@
 
 #include <cmath>
 #include <deque>
+#include <memory>
 
 #include "check/check.h"
 #include "core/hub_runtime.h"
 #include "energy/energy_accountant.h"
+#include "net/medium.h"
+#include "net/shared_access_point.h"
 #include "trace/power_trace.h"
 
 namespace iotsim::core {
@@ -21,6 +24,17 @@ ScenarioResult ScenarioRunner::run() {
 
   sim::Simulator sim;
   energy::EnergyAccountant acct;
+
+  // The medium every hub's NICs transmit through: a finite-bandwidth shared
+  // access point when the scenario configures one, the ideal
+  // infinite-capacity ether otherwise (byte-identical to the pre-network
+  // model — an IdealMedium acquire grants without suspending).
+  std::unique_ptr<net::Medium> medium;
+  if (scenario_.network) {
+    medium = std::make_unique<net::SharedAccessPoint>(sim, *scenario_.network);
+  } else {
+    medium = std::make_unique<net::IdealMedium>();
+  }
 
   // Build every hub's hardware and topology first (all powered components
   // register with the shared ledger), then attach the trace, then spawn —
@@ -38,6 +52,7 @@ ScenarioResult ScenarioRunner::run() {
     cfg.batch_flushes_per_window = scenario_.batch_flushes_per_window;
     cfg.mcu_speed_factor = scenario_.mcu_speed_factor;
     cfg.seed = rh.seed;
+    cfg.medium = medium.get();
     hubs.emplace_back(sim, acct, std::move(cfg));
   }
 
@@ -62,17 +77,47 @@ ScenarioResult ScenarioRunner::run() {
   result.scheme = scenario_.scheme;
   result.span = sim.now() - sim::SimTime::origin();
   result.energy = energy::EnergyReport::from_accountant(acct, result.span);
+  {
+    const net::AirtimeStats totals = medium->totals();
+    energy::CongestionSummary congestion;
+    congestion.modeled = scenario_.network.has_value();
+    congestion.utilization = medium->utilization(sim.now());
+    congestion.airtime_wait = totals.airtime_wait;
+    congestion.grants = totals.grants;
+    congestion.retries = totals.retries;
+    congestion.drops = totals.drops;
+    result.energy.set_congestion(congestion);
+  }
   result.power_trace = power_trace;
   result.qos_met = true;
   double hub_joules_sum = 0.0;
+  net::AirtimeStats hub_stats_sum;
   for (const auto& hub : hubs) {
     HubResult hr = hub.harvest(acct, result.span);
     hub_joules_sum += hr.energy.total_joules();
+    hub_stats_sum.airtime_wait += hr.airtime_wait;
+    hub_stats_sum.grants += hr.airtime_grants;
+    hub_stats_sum.retries += hr.net_retries;
+    hub_stats_sum.drops += hr.net_drops;
     result.interrupts_raised += hr.interrupts_raised;
     result.cpu_wakeups += hr.cpu_wakeups;
     result.sensor_read_errors += hr.sensor_read_errors;
     result.qos_met = result.qos_met && hr.qos_met;
     result.hubs.push_back(std::move(hr));
+  }
+  // Per-hub contention stats partition the medium's attachment list, so
+  // their sums must reassemble the fleet totals exactly — the tripwire for
+  // a NIC attached to the wrong medium or harvested twice.
+  {
+    const energy::CongestionSummary& fleet = result.energy.congestion();
+    IOTSIM_CHECK_EQ(hub_stats_sum.grants, fleet.grants,
+                    "per-hub airtime grants do not reassemble the fleet total");
+    IOTSIM_CHECK_EQ(hub_stats_sum.retries, fleet.retries,
+                    "per-hub net retries do not reassemble the fleet total");
+    IOTSIM_CHECK_EQ(hub_stats_sum.drops, fleet.drops,
+                    "per-hub net drops do not reassemble the fleet total");
+    IOTSIM_CHECK_EQ(hub_stats_sum.airtime_wait.count_ns(), fleet.airtime_wait.count_ns(),
+                    "per-hub airtime wait does not reassemble the fleet total");
   }
   // Fleet conservation: the hub-scoped slices partition the shared ledger,
   // so their totals must reassemble the fleet total exactly (modulo

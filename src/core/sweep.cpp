@@ -113,7 +113,7 @@ std::string scenario_key(const Scenario& sc) {
   // the note in core/scenario.h; tests/core/test_scenario_key.cpp mutates
   // every field). A version tag guards persisted keys against layout drift.
   ByteSink s;
-  s.u64(0x696F7453696D3032ull);  // "iotSim02"
+  s.u64(0x696F7453696D3033ull);  // "iotSim03"
 
   append_app_list(s, sc.app_ids);
   s.u8(static_cast<std::uint8_t>(sc.scheme));
@@ -125,6 +125,16 @@ std::string scenario_key(const Scenario& sc) {
 
   append_world(s, sc.world);
   append_hub_spec(s, sc.hub);
+
+  // --- shared uplink ---
+  s.u8(sc.network.has_value() ? 1 : 0);
+  if (sc.network) {
+    s.f64(sc.network->bytes_per_second);
+    s.i32(sc.network->queue_depth);
+    s.u8(static_cast<std::uint8_t>(sc.network->backoff));
+    s.dur(sc.network->backoff_slot);
+    s.i32(sc.network->max_backoff_exponent);
+  }
 
   // --- fleet ---
   s.size(sc.hubs.size());

@@ -14,6 +14,21 @@
 
 namespace iotsim::energy {
 
+/// Fleet-level view of the shared uplink's contention during a run (set by
+/// the scenario runner from net::Medium totals; zeroed/unmodeled when the
+/// scenario transmits into the ideal infinite-capacity medium).
+struct CongestionSummary {
+  /// True when a finite-bandwidth shared access point was configured.
+  bool modeled = false;
+  /// Fraction of the simulated span the channel carried a burst.
+  double utilization = 0.0;
+  /// Total time NICs spent waiting for airtime, summed over the fleet.
+  sim::Duration airtime_wait;
+  std::uint64_t grants = 0;   ///< bursts granted airtime
+  std::uint64_t retries = 0;  ///< CSMA re-sense attempts
+  std::uint64_t drops = 0;    ///< bursts rejected (pending queue full)
+};
+
 class EnergyReport {
  public:
   EnergyReport() = default;
@@ -53,11 +68,17 @@ class EnergyReport {
   /// total normalised to the baseline's total (bar height in Figs. 9–12).
   [[nodiscard]] double normalized_to(const EnergyReport& baseline) const;
 
+  /// Shared-uplink contention for the span this report covers (fleet-level
+  /// reports only; per-hub slices leave it unmodeled).
+  [[nodiscard]] const CongestionSummary& congestion() const { return congestion_; }
+  void set_congestion(const CongestionSummary& c) { congestion_ = c; }
+
  private:
   std::array<double, kRoutineCount> routine_j_{};
   std::array<sim::Duration, kRoutineCount> busy_{};
   std::map<std::string, std::array<double, kRoutineCount>> component_j_;
   sim::Duration elapsed_ = sim::Duration::zero();
+  CongestionSummary congestion_;
 };
 
 }  // namespace iotsim::energy

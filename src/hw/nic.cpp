@@ -20,6 +20,15 @@ Nic::Nic(sim::Simulator& sim, energy::EnergyAccountant& acct, std::string name,
             {"tail", spec.rx_w, false}},
            kIdle} {}
 
+void Nic::attach_medium(net::Medium& medium, sim::Rng backoff_rng) {
+  medium_ = &medium;
+  attachment_ = medium.attach(name_, backoff_rng);
+}
+
+const net::AirtimeStats* Nic::airtime_stats() const {
+  return medium_ != nullptr ? &medium_->stats(attachment_) : nullptr;
+}
+
 sim::Duration Nic::wire_time(std::size_t bytes) const {
   return sim::Duration::from_seconds(static_cast<double>(bytes) / spec_.bytes_per_second);
 }
@@ -35,23 +44,50 @@ void Nic::arm_tail(energy::Routine attr) {
   });
 }
 
-sim::Task<void> Nic::burst(std::size_t bytes, energy::PowerStateMachine::StateId state,
+void Nic::enter_listen(energy::Routine attr) {
+  // Idle-listen at tail power while contending for the channel. Bumping the
+  // generation first invalidates any armed tail expiry, which would
+  // otherwise see state == kTail mid-wait and flip the radio to idle.
+  ++tail_generation_;
+  psm_.set(kTail, attr);
+}
+
+sim::Task<bool> Nic::burst(std::size_t bytes, energy::PowerStateMachine::StateId state,
                            energy::Routine attr) {
   co_await mutex_.acquire();
+  sim::Duration air = wire_time(bytes);
+  if (medium_ != nullptr) {
+    // Only enter the listen state when a wait will actually happen — a
+    // zero-length listen segment would pollute power traces and break
+    // byte-identity for uncontended runs.
+    const bool contended = !medium_->free_now();
+    if (contended) enter_listen(attr);
+    const net::Grant grant = co_await medium_->acquire(attachment_, bytes, air);
+    if (!grant.granted) {
+      ++bursts_dropped_;
+      if (contended) arm_tail(attr);  // the radio listened; give it a tail
+      mutex_.release();
+      co_return false;
+    }
+    air = grant.airtime;
+  }
   psm_.set(state, attr);
-  co_await sim::Delay{wire_time(bytes)};
+  co_await sim::Delay{air};
   arm_tail(attr);
   mutex_.release();
+  co_return true;
 }
 
 sim::Task<void> Nic::transmit(std::size_t bytes, energy::Routine attr) {
-  bytes_sent_ += bytes;
-  co_await burst(bytes, kTx, attr);
+  // NB: keep the co_await out of the if-condition — GCC destroys the
+  // temporary task before the await completes when it sits in a condition.
+  const bool sent = co_await burst(bytes, kTx, attr);
+  if (sent) bytes_sent_ += bytes;
 }
 
 sim::Task<void> Nic::receive(std::size_t bytes, energy::Routine attr) {
-  bytes_received_ += bytes;
-  co_await burst(bytes, kRx, attr);
+  const bool received = co_await burst(bytes, kRx, attr);
+  if (received) bytes_received_ += bytes;
 }
 
 }  // namespace iotsim::hw

@@ -33,6 +33,11 @@
 #include "trace/power_trace.h"
 #include "trace/table_printer.h"
 
+// Shared-medium network layer.
+#include "net/config.h"
+#include "net/medium.h"
+#include "net/shared_access_point.h"
+
 // Hardware models.
 #include "hw/boards.h"
 #include "hw/bus.h"

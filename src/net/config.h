@@ -1,0 +1,40 @@
+// Configuration of the shared-medium network layer (pure data: embedded in
+// core::Scenario and hashed into the sweep memo key — when adding a field
+// here, extend scenario_key() in core/sweep.cpp and the field-mutation test
+// in tests/core/test_scenario_key.cpp).
+#pragma once
+
+#include "sim/sim_time.h"
+
+namespace iotsim::net {
+
+/// How a SharedAccessPoint arbitrates a busy channel.
+enum class BackoffPolicy {
+  /// Pending bursts queue in arrival order; each starts the instant the
+  /// previous reservation ends.
+  kFifo,
+  /// CSMA-style: a blocked sender sleeps a random number of backoff slots
+  /// (binary-exponential range growth) and re-senses, repeating until the
+  /// channel is free. Slot draws come from the sender's deterministic
+  /// sim::Rng stream, so runs stay bit-reproducible.
+  kCsma,
+};
+
+/// A finite-bandwidth shared uplink: one access point serving every NIC of
+/// a fleet. The default values model a congested 2 Mbps residential uplink.
+struct ApConfig {
+  /// Uplink capacity shared by all attached NICs. A burst's airtime is
+  /// max(NIC wire time, bytes / bytes_per_second) — the slower of the radio
+  /// and the access point sets the pace.
+  double bytes_per_second = 2.5e5;
+  /// Bursts allowed to wait for the channel at once; arrivals beyond this
+  /// bound are dropped (counted per NIC and fleet-wide).
+  int queue_depth = 64;
+  BackoffPolicy backoff = BackoffPolicy::kFifo;
+  /// CSMA slot length; a blocked sender waits 1..2^attempt slots.
+  sim::Duration backoff_slot = sim::Duration::from_us(500.0);
+  /// Cap on the CSMA binary-exponential range (at most 2^this slots).
+  int max_backoff_exponent = 6;
+};
+
+}  // namespace iotsim::net

@@ -1,0 +1,30 @@
+#include "net/medium.h"
+
+#include "check/check.h"
+
+namespace iotsim::net {
+
+std::size_t IdealMedium::attach(std::string /*name*/, sim::Rng /*backoff_rng*/) {
+  stats_.emplace_back();
+  return stats_.size() - 1;
+}
+
+sim::Task<Grant> IdealMedium::acquire(std::size_t attachment, std::size_t /*bytes*/,
+                                      sim::Duration nic_wire) {
+  IOTSIM_CHECK_LT(attachment, stats_.size(), "IdealMedium: acquire from unattached NIC");
+  ++stats_[attachment].grants;
+  co_return Grant{true, nic_wire};
+}
+
+const AirtimeStats& IdealMedium::stats(std::size_t attachment) const {
+  IOTSIM_CHECK_LT(attachment, stats_.size(), "IdealMedium: stats for unattached NIC");
+  return stats_[attachment];
+}
+
+AirtimeStats IdealMedium::totals() const {
+  AirtimeStats sum;
+  for (const AirtimeStats& s : stats_) sum += s;
+  return sum;
+}
+
+}  // namespace iotsim::net

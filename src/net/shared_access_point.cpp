@@ -1,0 +1,114 @@
+#include "net/shared_access_point.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "check/check.h"
+#include "sim/simulator.h"
+
+namespace iotsim::net {
+
+SharedAccessPoint::SharedAccessPoint(sim::Simulator& sim, ApConfig cfg)
+    : sim_{sim}, cfg_{cfg}, next_free_{sim.now()}, last_grant_end_{sim.now()} {
+  IOTSIM_CHECK(cfg_.bytes_per_second > 0.0, "SharedAccessPoint: bandwidth must be positive");
+  IOTSIM_CHECK_GE(cfg_.queue_depth, 1, "SharedAccessPoint: queue depth must be >= 1");
+}
+
+std::size_t SharedAccessPoint::attach(std::string name, sim::Rng backoff_rng) {
+  attachments_.push_back(Attachment{std::move(name), backoff_rng, AirtimeStats{}});
+  return attachments_.size() - 1;
+}
+
+bool SharedAccessPoint::free_now() const { return sim_.now() >= next_free_; }
+
+sim::Duration SharedAccessPoint::airtime_for(std::size_t bytes, sim::Duration nic_wire) const {
+  const sim::Duration uplink =
+      sim::Duration::from_seconds(static_cast<double>(bytes) / cfg_.bytes_per_second);
+  return std::max(nic_wire, uplink);
+}
+
+void SharedAccessPoint::record_grant(Attachment& att, sim::SimTime requested, sim::Duration air) {
+  const sim::SimTime now = sim_.now();
+  IOTSIM_CHECK_GE(now, last_grant_end_, "SharedAccessPoint: overlapping airtime grants (%s)",
+                  att.name.c_str());
+  last_grant_end_ = now + air;
+  busy_airtime_ += air;
+  att.stats.airtime_wait += now - requested;
+  ++att.stats.grants;
+}
+
+sim::Task<Grant> SharedAccessPoint::acquire(std::size_t attachment, std::size_t bytes,
+                                            sim::Duration nic_wire) {
+  IOTSIM_CHECK_LT(attachment, attachments_.size(),
+                  "SharedAccessPoint: acquire from unattached NIC");
+  Attachment& att = attachments_[attachment];
+  const sim::Duration air = airtime_for(bytes, nic_wire);
+  return cfg_.backoff == BackoffPolicy::kFifo ? acquire_fifo(att, air) : acquire_csma(att, air);
+}
+
+sim::Task<Grant> SharedAccessPoint::acquire_fifo(Attachment& att, sim::Duration air) {
+  const sim::SimTime requested = sim_.now();
+  const bool busy = requested < next_free_;
+  if (busy && waiting_ >= cfg_.queue_depth) {
+    ++att.stats.drops;
+    co_return Grant{false, air};
+  }
+  // Reserve the start slot at admission: a later arrival sees next_free_
+  // already pushed out, so same-timestamp races cannot steal a queued
+  // waiter's slot.
+  const sim::SimTime start = busy ? next_free_ : requested;
+  next_free_ = start + air;
+  if (busy) {
+    ++waiting_;
+    IOTSIM_CHECK_LE(waiting_, cfg_.queue_depth, "SharedAccessPoint: pending queue over bound");
+    co_await sim::Delay{start - requested};
+    --waiting_;
+  }
+  record_grant(att, requested, air);
+  co_return Grant{true, air};
+}
+
+sim::Task<Grant> SharedAccessPoint::acquire_csma(Attachment& att, sim::Duration air) {
+  const sim::SimTime requested = sim_.now();
+  if (requested < next_free_) {
+    if (waiting_ >= cfg_.queue_depth) {
+      ++att.stats.drops;
+      co_return Grant{false, air};
+    }
+    ++waiting_;
+    IOTSIM_CHECK_LE(waiting_, cfg_.queue_depth, "SharedAccessPoint: pending queue over bound");
+    int attempt = 0;
+    while (sim_.now() < next_free_) {
+      attempt = std::min(attempt + 1, cfg_.max_backoff_exponent);
+      ++att.stats.retries;
+      const std::int64_t slots = att.rng.uniform_int(1, std::int64_t{1} << attempt);
+      co_await sim::Delay{cfg_.backoff_slot * slots};
+    }
+    --waiting_;
+  }
+  // Sensed free: seize the channel. Same-timestamp wakeups resume in
+  // schedule order, so the first sensor wins and the rest re-sense busy.
+  next_free_ = sim_.now() + air;
+  record_grant(att, requested, air);
+  co_return Grant{true, air};
+}
+
+const AirtimeStats& SharedAccessPoint::stats(std::size_t attachment) const {
+  IOTSIM_CHECK_LT(attachment, attachments_.size(),
+                  "SharedAccessPoint: stats for unattached NIC");
+  return attachments_[attachment].stats;
+}
+
+AirtimeStats SharedAccessPoint::totals() const {
+  AirtimeStats sum;
+  for (const Attachment& att : attachments_) sum += att.stats;
+  return sum;
+}
+
+double SharedAccessPoint::utilization(sim::SimTime now) const {
+  const sim::Duration elapsed = now - sim::SimTime::origin();
+  if (elapsed <= sim::Duration::zero()) return 0.0;
+  return std::min(1.0, busy_airtime_.to_seconds() / elapsed.to_seconds());
+}
+
+}  // namespace iotsim::net

@@ -1,0 +1,72 @@
+// A finite-bandwidth shared uplink with airtime contention.
+//
+// All attached NICs funnel through one channel of ApConfig::bytes_per_second
+// capacity. A burst's airtime is max(NIC wire time, bytes / AP bandwidth);
+// while the channel is busy, later arrivals wait — FIFO (reserved start
+// slots, back to back) or CSMA (randomized slotted re-sensing) — with a
+// bounded pending queue beyond which bursts are dropped.
+//
+// Invariants (IOTSIM_CHECK, on in Debug or -DIOTSIM_CHECKS=ON):
+//   * airtime grants never overlap — each grant starts at or after the
+//     previous grant's end;
+//   * the pending queue never exceeds ApConfig::queue_depth.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/config.h"
+#include "net/medium.h"
+#include "sim/process.h"
+#include "sim/random.h"
+#include "sim/sim_time.h"
+
+namespace iotsim::sim {
+class Simulator;
+}
+
+namespace iotsim::net {
+
+class SharedAccessPoint final : public Medium {
+ public:
+  SharedAccessPoint(sim::Simulator& sim, ApConfig cfg);
+
+  std::size_t attach(std::string name, sim::Rng backoff_rng) override;
+  [[nodiscard]] bool free_now() const override;
+  [[nodiscard]] sim::Task<Grant> acquire(std::size_t attachment, std::size_t bytes,
+                                         sim::Duration nic_wire) override;
+  [[nodiscard]] const AirtimeStats& stats(std::size_t attachment) const override;
+  [[nodiscard]] AirtimeStats totals() const override;
+  [[nodiscard]] double utilization(sim::SimTime now) const override;
+
+  [[nodiscard]] const ApConfig& config() const { return cfg_; }
+  /// Bursts currently waiting for the channel.
+  [[nodiscard]] int pending() const { return waiting_; }
+
+ private:
+  struct Attachment {
+    std::string name;
+    sim::Rng rng;
+    AirtimeStats stats;
+  };
+
+  /// Airtime for `bytes`: the slower of the radio and the AP uplink.
+  [[nodiscard]] sim::Duration airtime_for(std::size_t bytes, sim::Duration nic_wire) const;
+  /// Books a granted burst starting now: overlap invariant + accounting.
+  void record_grant(Attachment& att, sim::SimTime requested, sim::Duration air);
+
+  [[nodiscard]] sim::Task<Grant> acquire_fifo(Attachment& att, sim::Duration air);
+  [[nodiscard]] sim::Task<Grant> acquire_csma(Attachment& att, sim::Duration air);
+
+  sim::Simulator& sim_;
+  ApConfig cfg_;
+  std::vector<Attachment> attachments_;
+  sim::SimTime next_free_;       ///< when the channel's last reservation ends
+  sim::SimTime last_grant_end_;  ///< overlap-invariant watermark
+  int waiting_ = 0;              ///< bursts queued for the channel
+  sim::Duration busy_airtime_;   ///< total channel-occupied time (utilization)
+};
+
+}  // namespace iotsim::net

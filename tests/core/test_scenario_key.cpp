@@ -222,6 +222,36 @@ TEST(ScenarioKey, FleetWorldOverrideFieldsAllFeedTheKey) {
                         "fleet WorldConfig");
 }
 
+/// Network-attached variant: exercises the optional ApConfig section with
+/// every field away from its default.
+Scenario networked_scenario() {
+  Scenario sc = rich_scenario();
+  net::ApConfig ap;
+  ap.bytes_per_second = 6.25e5;
+  ap.queue_depth = 16;
+  ap.backoff = net::BackoffPolicy::kCsma;
+  ap.backoff_slot = sim::Duration::from_us(250.0);
+  ap.max_backoff_exponent = 5;
+  sc.network = ap;
+  return sc;
+}
+
+TEST(ScenarioKey, NetworkConfigFieldsAllFeedTheKey) {
+  const std::vector<Mutation> mutations = {
+      {"network presence", [](Scenario& sc) { sc.network.reset(); }},
+      {"network.bytes_per_second",
+       [](Scenario& sc) { sc.network->bytes_per_second *= 2.0; }},
+      {"network.queue_depth", [](Scenario& sc) { sc.network->queue_depth += 1; }},
+      {"network.backoff",
+       [](Scenario& sc) { sc.network->backoff = net::BackoffPolicy::kFifo; }},
+      {"network.backoff_slot",
+       [](Scenario& sc) { sc.network->backoff_slot = sc.network->backoff_slot * 2; }},
+      {"network.max_backoff_exponent",
+       [](Scenario& sc) { sc.network->max_backoff_exponent += 1; }},
+  };
+  expect_all_change_key(networked_scenario(), mutations, "ApConfig");
+}
+
 TEST(ScenarioKey, LegacyAndEquivalentFleetScenarioKeysDiffer) {
   // The one-hub fleet desugars to the same simulation, but the memo must
   // still distinguish the spellings: their results differ in shape
@@ -235,6 +265,7 @@ TEST(ScenarioKey, LegacyAndEquivalentFleetScenarioKeysDiffer) {
 TEST(ScenarioKey, IdenticalScenariosShareAKey) {
   EXPECT_EQ(scenario_key(rich_scenario()), scenario_key(rich_scenario()));
   EXPECT_EQ(scenario_key(fleet_scenario()), scenario_key(fleet_scenario()));
+  EXPECT_EQ(scenario_key(networked_scenario()), scenario_key(networked_scenario()));
 }
 
 }  // namespace
