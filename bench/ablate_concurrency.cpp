@@ -9,7 +9,7 @@ using apps::AppId;
 
 int main(int argc, char** argv) {
   bench::Session session{
-      bench::parse_options(argc, argv, bench::Options{.jobs = 0, .windows = 3})};
+      bench::parse_options(argc, argv, bench::Options::with_windows(3))};
   std::cout << "=== Ablation: concurrent per-sample apps vs. the interrupt wall ===\n\n";
 
   // Incrementally stacked 1 kHz-heavy apps.

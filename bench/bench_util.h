@@ -2,20 +2,35 @@
 // paper-style breakdown tables, and the sweep session every bench main runs
 // its scenarios through.
 //
-// Every bench accepts the same flags:
+// Every bench accepts the same flags (parse_options, consistent --help):
 //   --jobs=N     worker threads for the scenario sweep (default: all cores)
 //   --windows=K  QoS windows per scenario (default: bench-specific)
+//   --hubs=N     fleet size for fleet benches (others ignore it)
+//   --json=PATH  write the standard bench JSON record to PATH
 // Numbers are bit-identical at any --jobs value: scenarios are seeded by
 // content and collected in order (see core/sweep.h).
+//
+// The standard bench JSON (written by Session when --json is given) has the
+// same shape for every fig*/ablate*/fleet* target:
+//   {"bench": ..., "jobs": N, "windows": K, "hubs": N,
+//    "wall_ms": ..., "peak_rss_bytes": ...,
+//    "scenarios_executed": N, "cache_hits": N,
+//    "events_dispatched": N, "events_per_sec": ...,
+//    "extra": {bench-specific numbers recorded via Session::record}}
 #pragma once
 
+#include <chrono>
+#include <cstddef>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <map>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "codecs/json/json_writer.h"
 #include "core/scenario_runner.h"
 #include "core/sweep.h"
 #include "trace/ascii_chart.h"
@@ -25,6 +40,21 @@
 namespace iotsim::bench {
 
 inline constexpr int kDefaultWindows = 5;
+
+/// Peak resident set size of this process in bytes (Linux VmHWM); 0 where
+/// unavailable. Benches report it in the standard JSON record.
+inline std::size_t peak_rss_bytes() {
+#if defined(__linux__)
+  std::ifstream status{"/proc/self/status"};
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return static_cast<std::size_t>(std::atoll(line.c_str() + 6)) * 1024;
+    }
+  }
+#endif
+  return 0;
+}
 
 /// A world with activity on every channel, so kernels have real work: two
 /// seismic bursts, scheduled voice commands, a slightly irregular heart.
@@ -41,16 +71,41 @@ inline sensors::WorldConfig active_world() {
 struct Options {
   int jobs = 0;  // <= 0 ⇒ all hardware threads
   int windows = kDefaultWindows;
+  int hubs = 0;  // <= 0 ⇒ bench default; only fleet benches consume it
+  std::string json_path;   // non-empty ⇒ write the standard bench JSON there
+  std::string bench_name;  // basename(argv[0]), set by parse_options
+
+  /// Bench-default helper: everything default except the window count.
+  [[nodiscard]] static Options with_windows(int k) {
+    Options o;
+    o.windows = k;
+    return o;
+  }
 };
 
-/// Parses --jobs=N / --windows=K (exits with usage on anything else).
-/// `defaults` carries the bench's own window count where it differs.
+/// Parses --jobs=N / --windows=K / --hubs=N / --json[=| ]PATH (exits with
+/// usage on anything else). `defaults` carries the bench's own window count
+/// where it differs.
 inline Options parse_options(int argc, char** argv, Options defaults = {}) {
   Options o = defaults;
+  {
+    const std::string prog = argc > 0 ? argv[0] : "bench";
+    const std::size_t slash = prog.find_last_of('/');
+    o.bench_name = slash == std::string::npos ? prog : prog.substr(slash + 1);
+  }
   auto int_flag = [](const std::string& arg,
                      const std::string& prefix) -> std::optional<int> {
     if (arg.rfind(prefix, 0) != 0) return std::nullopt;
     return std::atoi(arg.c_str() + prefix.size());
+  };
+  auto usage = [&](int code) {
+    std::cerr << "usage: " << (argc > 0 ? argv[0] : "bench")
+              << " [--jobs=N] [--windows=K] [--hubs=N] [--json=PATH]\n"
+              << "  --jobs=N     sweep worker threads (default: all cores)\n"
+              << "  --windows=K  QoS windows per scenario\n"
+              << "  --hubs=N     fleet size (fleet benches only)\n"
+              << "  --json=PATH  write the standard bench JSON record\n";
+    std::exit(code);
   };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -58,9 +113,14 @@ inline Options parse_options(int argc, char** argv, Options defaults = {}) {
       o.jobs = *v;
     } else if (auto w = int_flag(arg, "--windows=")) {
       o.windows = *w;
+    } else if (auto h = int_flag(arg, "--hubs=")) {
+      o.hubs = *h;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      o.json_path = arg.substr(7);
+    } else if (arg == "--json" && i + 1 < argc) {
+      o.json_path = argv[++i];
     } else {
-      std::cerr << "usage: " << argv[0] << " [--jobs=N] [--windows=K]\n";
-      std::exit(arg == "--help" || arg == "-h" ? 0 : 2);
+      usage(arg == "--help" || arg == "-h" ? 0 : 2);
     }
   }
   if (o.windows <= 0) {
@@ -77,7 +137,9 @@ inline Options parse_options(int argc, char** argv, Options defaults = {}) {
 class Session {
  public:
   explicit Session(Options opts)
-      : opts_{opts}, sweep_{core::SweepOptions{.jobs = opts.jobs, .memoize = true}} {}
+      : opts_{std::move(opts)},
+        sweep_{core::SweepOptions{.jobs = opts_.jobs, .memoize = true}},
+        started_{std::chrono::steady_clock::now()} {}
 
   ~Session() {
     // Diagnostics go to stderr so table/CSV output on stdout stays
@@ -85,12 +147,58 @@ class Session {
     const auto& s = sweep_.stats();
     std::cerr << "[sweep] jobs=" << sweep_.jobs() << " scenarios=" << s.scheduled
               << " executed=" << s.executed << " cache-hits=" << s.cache_hits << '\n';
+    if (!opts_.json_path.empty()) write_json();
   }
 
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
   [[nodiscard]] int windows() const { return opts_.windows; }
+  [[nodiscard]] const Options& options() const { return opts_; }
+
+  /// Fleet size after the --hubs override (`fallback` = the bench default).
+  [[nodiscard]] int hubs_or(int fallback) const {
+    return opts_.hubs > 0 ? opts_.hubs : fallback;
+  }
+
+  /// Attaches a bench-specific number to the standard JSON record's "extra"
+  /// object (e.g. speedups, shard efficiency). Last write per key wins.
+  void record(const std::string& key, double value) { extra_[key] = value; }
+
+  /// Writes the standard bench JSON record now (also runs at destruction
+  /// when --json was given). Safe to call repeatedly; later calls overwrite.
+  void write_json() const {
+    using codecs::json::Value;
+    const auto& s = sweep_.stats();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                  started_)
+            .count();
+    Value v;
+    v["bench"] = Value{opts_.bench_name};
+    v["jobs"] = Value{sweep_.jobs()};
+    v["windows"] = Value{opts_.windows};
+    v["hubs"] = Value{opts_.hubs};
+    v["wall_ms"] = Value{wall_ms};
+    v["peak_rss_bytes"] = Value{static_cast<double>(peak_rss_bytes())};
+    v["scenarios_executed"] = Value{static_cast<double>(s.executed)};
+    v["cache_hits"] = Value{static_cast<double>(s.cache_hits)};
+    v["events_dispatched"] = Value{static_cast<double>(s.events_dispatched)};
+    v["events_per_sec"] =
+        Value{wall_ms > 0.0 ? static_cast<double>(s.events_dispatched) / (wall_ms / 1e3)
+                            : 0.0};
+    Value extra;
+    for (const auto& [key, value] : extra_) extra[key] = Value{value};
+    v["extra"] = std::move(extra);
+
+    std::ofstream out{opts_.json_path};
+    if (!out) {
+      std::cerr << "[bench] cannot open --json path: " << opts_.json_path << '\n';
+      return;
+    }
+    out << codecs::json::dump_pretty(v) << '\n';
+    std::cerr << "[bench] wrote " << opts_.json_path << '\n';
+  }
 
   /// The bench-standard scenario: given apps/scheme against active_world().
   [[nodiscard]] core::Scenario scenario(std::vector<apps::AppId> ids, core::Scheme scheme,
@@ -127,6 +235,8 @@ class Session {
  private:
   Options opts_;
   core::SweepRunner sweep_;
+  std::chrono::steady_clock::time_point started_;
+  std::map<std::string, double> extra_;  // ordered ⇒ stable JSON key order
 };
 
 /// Paper-style four-routine percentages of a scheme run, normalised to a

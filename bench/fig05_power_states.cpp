@@ -32,7 +32,7 @@ void show(bench::Session& session, const char* title, core::Scheme scheme) {
 
 int main(int argc, char** argv) {
   bench::Session session{
-      bench::parse_options(argc, argv, bench::Options{.jobs = 0, .windows = 2})};
+      bench::parse_options(argc, argv, bench::Options::with_windows(2))};
   std::cout << "=== Fig. 5: power-state timelines, step counter ===\n";
   std::cout << "(power ramp per row: ' ' lowest … '#' highest)\n\n";
   session.prefetch({

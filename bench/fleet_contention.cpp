@@ -7,11 +7,19 @@
 //
 // Fleet×medium combinations sweep through SweepRunner, so --jobs=N fans the
 // grid out; numbers are bit-identical at any job count.
+//
+// The closing section scales one contended fleet to --hubs=N (default 1024)
+// behind the mid-tier uplink. A shared access point serializes all hubs
+// through one arbiter, so ExecPolicy sharding must collapse to the exact
+// single-shard path — the section asserts the collapse stays byte-identical
+// and reports the big-fleet wall time and events/sec into the bench JSON.
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 
 #include "bench_util.h"
+#include "core/result_json.h"
 
 using namespace iotsim;
 
@@ -81,7 +89,7 @@ WaitSpread wait_spread(const core::ScenarioResult& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::Session session{bench::parse_options(argc, argv, bench::Options{0, 2})};
+  bench::Session session{bench::parse_options(argc, argv, bench::Options::with_windows(2))};
   std::cout << "=== Fleet contention: 1-64 BCOM hubs behind one shared uplink ===\n\n";
 
   const int sizes[] = {1, 2, 4, 8, 16, 32, 64};
@@ -154,5 +162,42 @@ int main(int argc, char** argv) {
 
   std::cout << "uplink-shrink monotonicity (net energy, airtime wait): "
             << (monotone ? "holds" : "VIOLATED") << '\n';
-  return monotone ? 0 : 1;
+
+  // --- Big contended fleet ----------------------------------------------
+  // The shared access point couples every hub, so the sharded executor must
+  // fall back to the exact single-shard path (effective_shards == 1); lock
+  // that collapse in at scale and report the big-fleet throughput.
+  const int big_hubs = session.hubs_or(1024);
+  std::cout << "\nBig contended fleet: " << big_hubs << " hubs, 5 Mbit/s FIFO uplink\n";
+  const core::Scenario big_sc = fleet_scenario(big_hubs, mid, session.windows());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const core::ScenarioResult big = core::run_scenario(big_sc);
+  const double big_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const core::ScenarioResult big_sharded =
+      core::run_scenario(big_sc, core::ExecPolicy{.shards = 8});
+  const bool identical = core::to_json_text(big) == core::to_json_text(big_sharded);
+
+  const auto big_events = static_cast<double>(big.energy.kernel().events_dispatched);
+  const double big_eps = big_ms > 0.0 ? big_events / (big_ms / 1e3) : 0.0;
+  const auto big_spread = wait_spread(big);
+  using TP = trace::TablePrinter;
+  trace::TablePrinter gt{{"Hubs", "Wall (ms)", "Events/sec", "Wait mean (ms)",
+                          "Wait p99 (ms)", "Util"}};
+  gt.add_row({std::to_string(big_hubs), TP::num(big_ms, 5), TP::num(big_eps, 6),
+              TP::num(big_spread.mean_ms, 4), TP::num(big_spread.p99_ms, 4),
+              TP::num(big.energy.congestion().utilization, 3)});
+  std::cout << gt.render() << '\n';
+  std::cout << "sharded-policy collapse (shared AP => 1 shard) JSON: "
+            << (identical ? "byte-identical" : "DIVERGED") << '\n';
+
+  session.record("fleet_hubs", big_hubs);
+  session.record("fleet_events", big_events);
+  session.record("fleet_wall_ms", big_ms);
+  session.record("fleet_events_per_sec", big_eps);
+  session.record("fleet_byte_identical", identical ? 1.0 : 0.0);
+
+  return monotone && identical ? 0 : 1;
 }

@@ -5,10 +5,19 @@
 // on every hub's ledger slice.
 //
 // Fleet sizes sweep through SweepRunner, so --jobs=N fans the sizes out.
+//
+// The closing section exercises the sharded fleet kernel at scale: a
+// --hubs=N (default 1024) IdealMedium fleet run single-threaded and again
+// with ExecPolicy{shards = jobs}, asserting the two ScenarioResult JSON
+// texts are byte-identical and reporting events/sec, speedup and shard
+// efficiency into the standard bench JSON (--json=PATH).
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <thread>
 
 #include "bench_util.h"
+#include "core/result_json.h"
 
 using namespace iotsim;
 
@@ -75,7 +84,7 @@ PerHubSpread hub_spread(const core::ScenarioResult& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::Session session{bench::parse_options(argc, argv, bench::Options{0, 2})};
+  bench::Session session{bench::parse_options(argc, argv, bench::Options::with_windows(2))};
   std::cout << "=== Fleet scale: 1-64 mixed-portfolio hubs, Baseline vs BCOM ===\n\n";
 
   const int sizes[] = {1, 2, 4, 8, 16, 32, 64};
@@ -135,5 +144,64 @@ int main(int argc, char** argv) {
 
   std::cout << "per-hub accounting invariant (sum routine == integral P dt): "
             << (invariant_ok ? "holds" : "VIOLATED") << '\n';
-  return invariant_ok ? 0 : 1;
+
+  // --- Sharded fleet kernel at scale -------------------------------------
+  // One big IdealMedium fleet, run twice: single-threaded, then sharded
+  // across `jobs` workers. The two results must serialize byte-identically;
+  // the delta in wall time is the sharding win we report.
+  const int big_hubs = session.hubs_or(1024);
+  const int shard_jobs = [&] {
+    if (session.options().jobs > 0) return session.options().jobs;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+  }();
+  std::cout << "\nSharded kernel: " << big_hubs << " BCOM hubs, 1 vs " << shard_jobs
+            << " shards\n";
+
+  const core::Scenario big_sc =
+      fleet_scenario(big_hubs, core::Scheme::kBcom, session.windows());
+  auto timed_run = [&](const core::ExecPolicy& policy) {
+    const auto t0 = std::chrono::steady_clock::now();
+    core::ScenarioResult r = core::run_scenario(big_sc, policy);
+    const double ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return std::pair{std::move(r), ms};
+  };
+
+  const auto [single, single_ms] = timed_run(core::ExecPolicy{});
+  const auto [sharded, sharded_ms] =
+      timed_run(core::ExecPolicy{.shards = shard_jobs});
+
+  const std::string single_json = core::to_json_text(single);
+  const std::string sharded_json = core::to_json_text(sharded);
+  const bool identical = single_json == sharded_json;
+
+  const auto events = static_cast<double>(single.energy.kernel().events_dispatched);
+  const double single_eps = single_ms > 0.0 ? events / (single_ms / 1e3) : 0.0;
+  const double sharded_eps = sharded_ms > 0.0 ? events / (sharded_ms / 1e3) : 0.0;
+  const double speedup = sharded_ms > 0.0 ? single_ms / sharded_ms : 0.0;
+  const double efficiency = shard_jobs > 0 ? speedup / shard_jobs : 0.0;
+
+  trace::TablePrinter st{{"Shards", "Wall (ms)", "Events/sec", "Speedup", "Efficiency"}};
+  using TP = trace::TablePrinter;
+  st.add_row({"1", TP::num(single_ms, 5), TP::num(single_eps, 6), "1.000", "1.000"});
+  st.add_row({std::to_string(shard_jobs), TP::num(sharded_ms, 5), TP::num(sharded_eps, 6),
+              TP::num(speedup, 4), TP::num(efficiency, 4)});
+  std::cout << st.render() << '\n';
+  std::cout << "sharded vs single-thread ScenarioResult JSON: "
+            << (identical ? "byte-identical" : "DIVERGED") << '\n';
+
+  session.record("fleet_hubs", big_hubs);
+  session.record("fleet_events", events);
+  session.record("fleet_shards", shard_jobs);
+  session.record("fleet_single_ms", single_ms);
+  session.record("fleet_sharded_ms", sharded_ms);
+  session.record("fleet_single_events_per_sec", single_eps);
+  session.record("fleet_sharded_events_per_sec", sharded_eps);
+  session.record("fleet_speedup", speedup);
+  session.record("fleet_shard_efficiency", efficiency);
+  session.record("fleet_byte_identical", identical ? 1.0 : 0.0);
+
+  return invariant_ok && identical ? 0 : 1;
 }

@@ -1,0 +1,38 @@
+// How a scenario run is executed — orthogonal to what it computes.
+//
+// An ExecPolicy never changes results: a sharded run is byte-identical to a
+// single-thread run of the same Scenario (tests/core/test_fleet_shard.cpp
+// locks this down on serialized JSON). It only changes wall-clock shape, so
+// it is deliberately NOT part of core::scenario_key() — memoized results are
+// valid across policies.
+//
+// Sharding model: hubs couple only through the shared net::Medium. With the
+// ideal medium (no `network` section) acquire() never suspends, hubs are
+// fully independent, and the fleet splits into contiguous hub blocks, one
+// Simulator/Arena/ledger per shard on its own worker thread. With a
+// SharedAccessPoint the conservative coupling window — no queued burst can
+// start before the medium's current reservation ends (MediumStats::
+// next_free) — degenerates to the granularity of single grants, so the
+// effective shard count collapses to 1 and the run takes the exact legacy
+// path. Power-trace recording also forces one shard (one shared trace).
+#pragma once
+
+#include "sim/sim_time.h"
+
+namespace iotsim::core {
+
+struct ExecPolicy {
+  /// Worker shards to split the fleet across; clamped to [1, fleet size]
+  /// and collapsed to 1 whenever hubs couple (shared AP, power trace).
+  int shards = 1;
+
+  /// Simulated-time barrier interval between shards. Shards drain events up
+  /// to each window boundary, then synchronize before continuing — the hook
+  /// that keeps any future coupled medium conservative. Duration::max()
+  /// (the default) means free-running: no barriers, each shard runs to
+  /// completion. Either setting yields identical results; finite windows
+  /// only add synchronization.
+  sim::Duration window = sim::Duration::max();
+};
+
+}  // namespace iotsim::core

@@ -146,6 +146,16 @@ Value to_json(const ScenarioResult& result) {
     v["network"] = std::move(net_v);
   }
 
+  {
+    // Only the deterministic kernel counter is serialized: peak queue depth
+    // and scheduler kind vary with execution shape (sharding splits the
+    // population), and results must be byte-identical across ExecPolicies.
+    const energy::KernelSummary& k = result.energy.kernel();
+    Value kernel_v;
+    kernel_v["events_dispatched"] = Value{static_cast<double>(k.events_dispatched)};
+    v["kernel"] = std::move(kernel_v);
+  }
+
   Value hubs_v;
   for (const auto& h : result.hubs) {
     hubs_v.push_back(hub_to_json(h));

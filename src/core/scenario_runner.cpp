@@ -1,99 +1,64 @@
 #include "core/scenario_runner.h"
 
+#include <algorithm>
+#include <atomic>
+#include <barrier>
 #include <cmath>
 #include <deque>
+#include <exception>
+#include <limits>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "check/check.h"
 #include "core/hub_runtime.h"
+#include "core/thread_pool.h"
 #include "energy/energy_accountant.h"
 #include "net/medium.h"
 #include "net/shared_access_point.h"
+#include "sim/arena.h"
 #include "trace/power_trace.h"
 
 namespace iotsim::core {
 
-ScenarioResult ScenarioRunner::run() {
-  if (auto errors = scenario_.validate(); !errors.empty()) {
-    ScenarioResult invalid;
-    invalid.scheme = scenario_.scheme;
-    invalid.errors = std::move(errors);
-    invalid.qos_met = false;
-    return invalid;
-  }
+namespace {
 
-  sim::Simulator sim;
-  energy::EnergyAccountant acct;
+HubRuntime::Config hub_config(const Scenario& scenario, const ResolvedHub& rh,
+                              net::Medium* medium) {
+  HubRuntime::Config cfg;
+  cfg.name = rh.name;
+  cfg.component_scope = rh.component_scope;
+  cfg.spec = *rh.spec;
+  cfg.app_ids = *rh.app_ids;
+  cfg.world = *rh.world;
+  cfg.scheme = scenario.scheme;
+  cfg.windows = scenario.windows;
+  cfg.batch_flushes_per_window = scenario.batch_flushes_per_window;
+  cfg.mcu_speed_factor = scenario.mcu_speed_factor;
+  cfg.seed = rh.seed;
+  cfg.medium = medium;
+  return cfg;
+}
 
-  // The medium every hub's NICs transmit through: a finite-bandwidth shared
-  // access point when the scenario configures one, the ideal
-  // infinite-capacity ether otherwise (byte-identical to the pre-network
-  // model — an IdealMedium acquire grants without suspending).
-  std::unique_ptr<net::Medium> medium;
-  if (scenario_.network) {
-    medium = std::make_unique<net::SharedAccessPoint>(sim, *scenario_.network);
-  } else {
-    medium = std::make_unique<net::IdealMedium>();
-  }
+/// One hub to harvest, paired with the ledger its components registered in
+/// (the shared ledger single-threaded; its shard's ledger when sharded).
+struct HarvestEntry {
+  const HubRuntime* hub;
+  const energy::EnergyAccountant* acct;
+};
 
-  // Build every hub's hardware and topology first (all powered components
-  // register with the shared ledger), then attach the trace, then spawn —
-  // so the trace integral covers every component, per hub or fleet-wide.
-  std::deque<HubRuntime> hubs;  // deque: HubRuntime is pinned (internal pointers)
-  for (const ResolvedHub& rh : scenario_.resolved_hubs()) {
-    HubRuntime::Config cfg;
-    cfg.name = rh.name;
-    cfg.component_scope = rh.component_scope;
-    cfg.spec = *rh.spec;
-    cfg.app_ids = *rh.app_ids;
-    cfg.world = *rh.world;
-    cfg.scheme = scenario_.scheme;
-    cfg.windows = scenario_.windows;
-    cfg.batch_flushes_per_window = scenario_.batch_flushes_per_window;
-    cfg.mcu_speed_factor = scenario_.mcu_speed_factor;
-    cfg.seed = rh.seed;
-    cfg.medium = medium.get();
-    hubs.emplace_back(sim, acct, std::move(cfg));
-  }
-
-  std::shared_ptr<trace::PowerTrace> power_trace;
-  if (scenario_.record_power_trace) {
-    power_trace = std::make_shared<trace::PowerTrace>();
-    for (auto& hub : hubs) hub.attach_trace(*power_trace);
-  }
-
-  for (auto& hub : hubs) hub.start();
-
-  sim.run();
-  sim.check_processes();
-  IOTSIM_CHECK(sim.all_processes_done(), "simulation drained with live processes at t=%s",
-               sim.now().to_string().c_str());
-  for (auto& hub : hubs) hub.flush_power();
-  acct.check_conservation();
-
-  // Harvest: fleet-level totals from the shared ledger, one HubResult per
-  // hub from its component slice.
-  ScenarioResult result;
-  result.scheme = scenario_.scheme;
-  result.span = sim.now() - sim::SimTime::origin();
-  result.energy = energy::EnergyReport::from_accountant(acct, result.span);
-  {
-    const net::AirtimeStats totals = medium->totals();
-    energy::CongestionSummary congestion;
-    congestion.modeled = scenario_.network.has_value();
-    congestion.utilization = medium->utilization(sim.now());
-    congestion.airtime_wait = totals.airtime_wait;
-    congestion.grants = totals.grants;
-    congestion.retries = totals.retries;
-    congestion.drops = totals.drops;
-    result.energy.set_congestion(congestion);
-  }
-  result.power_trace = power_trace;
+/// The fleet-shape half of result assembly, identical for both execution
+/// paths: per-hub harvest in hub order, reassembly tripwires against the
+/// fleet totals already placed in `result.energy`, and the legacy flat-field
+/// mirror / fleet QoS summary.
+void harvest_fleet(ScenarioResult& result, const Scenario& scenario,
+                   const std::vector<HarvestEntry>& entries) {
   result.qos_met = true;
   double hub_joules_sum = 0.0;
   net::AirtimeStats hub_stats_sum;
-  for (const auto& hub : hubs) {
-    HubResult hr = hub.harvest(acct, result.span);
+  for (const HarvestEntry& e : entries) {
+    HubResult hr = e.hub->harvest(*e.acct, result.span);
     hub_joules_sum += hr.energy.total_joules();
     hub_stats_sum.airtime_wait += hr.airtime_wait;
     hub_stats_sum.grants += hr.airtime_grants;
@@ -119,8 +84,8 @@ ScenarioResult ScenarioRunner::run() {
     IOTSIM_CHECK_EQ(hub_stats_sum.airtime_wait.count_ns(), fleet.airtime_wait.count_ns(),
                     "per-hub airtime wait does not reassemble the fleet total");
   }
-  // Fleet conservation: the hub-scoped slices partition the shared ledger,
-  // so their totals must reassemble the fleet total exactly (modulo
+  // Fleet conservation: the hub-scoped slices partition the ledger(s), so
+  // their totals must reassemble the fleet total exactly (modulo
   // summation-order rounding). The tripwire for scope-prefix bugs.
   {
     const double fleet = result.energy.total_joules();
@@ -131,7 +96,7 @@ ScenarioResult ScenarioRunner::run() {
                     hub_joules_sum, result.hubs.size(), fleet);
   }
 
-  if (!scenario_.multi_hub()) {
+  if (!scenario.multi_hub()) {
     // Legacy single-hub view: the flat fields mirror the only hub.
     const HubResult& only = result.hubs.front();
     result.apps = only.apps;
@@ -154,12 +119,284 @@ ScenarioResult ScenarioRunner::run() {
       }
     }
   }
+}
+
+/// The k-th window boundary, saturating instead of overflowing.
+sim::SimTime window_horizon(sim::Duration window, std::int64_t k) {
+  const std::int64_t w = window.count_ns();
+  if (w >= std::numeric_limits<std::int64_t>::max() / k) return sim::SimTime::infinite();
+  return sim::SimTime::from_ns(w * k);
+}
+
+}  // namespace
+
+int ScenarioRunner::effective_shards(const ExecPolicy& policy) const {
+  // Hubs couple through a shared access point: grant order at equal
+  // timestamps depends on global event sequence, which no partition can
+  // reproduce — the conservative window (min pending grant, the medium's
+  // next_free) degenerates to single-grant granularity, so run exactly.
+  if (scenario_.network) return 1;
+  // One power trace integrates the whole fleet; keep it on one clock.
+  if (scenario_.record_power_trace) return 1;
+  const int fleet = std::max(1, static_cast<int>(scenario_.fleet_size()));
+  return std::clamp(policy.shards, 1, fleet);
+}
+
+ScenarioResult ScenarioRunner::run() { return run(ExecPolicy{}); }
+
+ScenarioResult ScenarioRunner::run(const ExecPolicy& policy) {
+  if (auto errors = scenario_.validate(); !errors.empty()) {
+    ScenarioResult invalid;
+    invalid.scheme = scenario_.scheme;
+    invalid.errors = std::move(errors);
+    invalid.qos_met = false;
+    return invalid;
+  }
+  const int shards = effective_shards(policy);
+  if (shards <= 1) return run_single();
+  return run_sharded(shards, policy.window);
+}
+
+ScenarioResult ScenarioRunner::run_single() {
+  // The arena outlives the simulator: coroutine frames allocated from it
+  // are destroyed with the simulator's processes, before the arena.
+  sim::Arena arena;
+  sim::Simulator sim;
+  energy::EnergyAccountant acct;
+  sim::ArenaScope frame_arena{arena};
+
+  // The medium every hub's NICs transmit through: a finite-bandwidth shared
+  // access point when the scenario configures one, the ideal
+  // infinite-capacity ether otherwise (byte-identical to the pre-network
+  // model — an IdealMedium acquire grants without suspending).
+  std::unique_ptr<net::Medium> medium;
+  if (scenario_.network) {
+    medium = std::make_unique<net::SharedAccessPoint>(sim, *scenario_.network);
+  } else {
+    medium = std::make_unique<net::IdealMedium>();
+  }
+
+  // Build every hub's hardware and topology first (all powered components
+  // register with the shared ledger), then attach the trace, then spawn —
+  // so the trace integral covers every component, per hub or fleet-wide.
+  std::deque<HubRuntime> hubs;  // deque: HubRuntime is pinned (internal pointers)
+  for (const ResolvedHub& rh : scenario_.resolved_hubs()) {
+    hubs.emplace_back(sim, acct, hub_config(scenario_, rh, medium.get()));
+  }
+
+  std::shared_ptr<trace::PowerTrace> power_trace;
+  if (scenario_.record_power_trace) {
+    power_trace = std::make_shared<trace::PowerTrace>();
+    for (auto& hub : hubs) hub.attach_trace(*power_trace);
+  }
+
+  for (auto& hub : hubs) hub.start();
+
+  sim.run();
+  sim.check_processes();
+  IOTSIM_CHECK(sim.all_processes_done(), "simulation drained with live processes at t=%s",
+               sim.now().to_string().c_str());
+  for (auto& hub : hubs) hub.flush_power();
+  acct.check_conservation();
+
+  // Harvest: fleet-level totals from the shared ledger, one HubResult per
+  // hub from its component slice.
+  ScenarioResult result;
+  result.scheme = scenario_.scheme;
+  result.span = sim.now() - sim::SimTime::origin();
+  result.energy = energy::EnergyReport::from_accountant(acct, result.span);
+  {
+    const net::MediumStats net_stats = medium->stats();
+    energy::CongestionSummary congestion;
+    congestion.modeled = scenario_.network.has_value();
+    congestion.utilization = medium->utilization(sim.now());
+    congestion.airtime_wait = net_stats.totals.airtime_wait;
+    congestion.grants = net_stats.totals.grants;
+    congestion.retries = net_stats.totals.retries;
+    congestion.drops = net_stats.totals.drops;
+    result.energy.set_congestion(congestion);
+  }
+  {
+    const sim::SimulatorStats kernel_stats = sim.stats();
+    energy::KernelSummary kernel;
+    kernel.events_dispatched = kernel_stats.events_dispatched;
+    kernel.peak_queue_depth = kernel_stats.peak_queue_depth;
+    kernel.scheduler = std::string{sim::to_string(kernel_stats.scheduler)};
+    kernel.shards = 1;
+    result.energy.set_kernel(std::move(kernel));
+  }
+  result.power_trace = power_trace;
+
+  std::vector<HarvestEntry> entries;
+  entries.reserve(hubs.size());
+  for (const auto& hub : hubs) entries.push_back(HarvestEntry{&hub, &acct});
+  harvest_fleet(result, scenario_, entries);
   return result;
 }
 
-ScenarioResult run_scenario(Scenario scenario) {
+ScenarioResult ScenarioRunner::run_sharded(int shards, sim::Duration window) {
+  // Each shard is a self-contained kernel: its own coroutine-frame arena,
+  // simulator, energy ledger, and (necessarily ideal) medium, driving a
+  // contiguous block of the fleet's hubs. Member order is destruction
+  // order in reverse: hubs die before the simulator, frames before the
+  // arena.
+  struct Shard {
+    sim::Arena arena;
+    sim::Simulator sim;
+    energy::EnergyAccountant acct;
+    net::IdealMedium medium;
+    std::deque<HubRuntime> hubs;
+    std::atomic<bool> finished{false};
+    std::exception_ptr error;
+  };
+
+  const std::vector<ResolvedHub> resolved = scenario_.resolved_hubs();
+  const std::size_t n = resolved.size();
+  const auto s_count = static_cast<std::size_t>(shards);
+  IOTSIM_CHECK_GE(n, s_count, "more shards than hubs after clamping");
+
+  std::deque<Shard> fleet(s_count);
+
+  // A finite window interleaves shard execution in simulated-time lockstep:
+  // every shard drains to the k-th boundary, then all arrive at the barrier
+  // before continuing. The completion step decides termination for all
+  // shards at once, so nobody can leave a barrier another shard still waits
+  // on.
+  std::atomic<bool> all_done{false};
+  auto on_window_complete = [&fleet, &all_done]() noexcept {
+    bool done = true;
+    for (const Shard& sh : fleet) done = done && sh.finished.load(std::memory_order_relaxed);
+    all_done.store(done, std::memory_order_relaxed);
+  };
+  std::barrier barrier{static_cast<std::ptrdiff_t>(s_count), on_window_complete};
+  // A non-positive window could never advance the horizon; treat it (and
+  // the Duration::max() default) as free-running.
+  const bool windowed = window != sim::Duration::max() && window > sim::Duration::zero();
+
+  // Exactly one worker per shard: every shard job must run concurrently
+  // when windowed (they meet at the barrier).
+  ThreadPool pool{shards};
+  for (std::size_t s = 0; s < s_count; ++s) {
+    const std::size_t begin = s * n / s_count;
+    const std::size_t end = (s + 1) * n / s_count;
+    Shard& shard = fleet[s];
+    pool.submit([this, &shard, &resolved, &barrier, &all_done, windowed, window, begin, end] {
+      bool failed = false;
+      try {
+        sim::ArenaScope frame_arena{shard.arena};
+        for (std::size_t h = begin; h < end; ++h) {
+          shard.hubs.emplace_back(shard.sim, shard.acct,
+                                  hub_config(scenario_, resolved[h], &shard.medium));
+        }
+        for (auto& hub : shard.hubs) hub.start();
+        if (!windowed) {
+          shard.sim.run();
+        }
+      } catch (...) {
+        shard.error = std::current_exception();
+        failed = true;
+      }
+      if (windowed) {
+        std::int64_t k = 1;
+        for (;;) {
+          if (!failed) {
+            try {
+              sim::ArenaScope frame_arena{shard.arena};
+              shard.sim.drain_until(window_horizon(window, k));
+            } catch (...) {
+              shard.error = std::current_exception();
+              failed = true;
+            }
+          }
+          shard.finished.store(failed || shard.sim.stats().pending_events == 0,
+                               std::memory_order_relaxed);
+          barrier.arrive_and_wait();
+          if (all_done.load(std::memory_order_relaxed)) break;
+          ++k;
+        }
+      }
+      if (failed) return;
+      try {
+        shard.sim.check_processes();
+        IOTSIM_CHECK(shard.sim.all_processes_done(),
+                     "shard drained with live processes at t=%s",
+                     shard.sim.now().to_string().c_str());
+        // Power is NOT flushed here: each shard's clock stops at its own
+        // last event, but idle power must integrate to the fleet-wide end
+        // time (exactly what the single-thread run does). The merge phase
+        // advances every shard to the global span first.
+      } catch (...) {
+        shard.error = std::current_exception();
+      }
+    });
+  }
+  pool.wait_idle();
+  for (Shard& sh : fleet) {
+    if (sh.error) std::rethrow_exception(sh.error);
+  }
+
+  // Merge in shard order — which is hub order, because shards hold
+  // contiguous blocks. Every sum below therefore reproduces the
+  // single-thread iteration order (floats bit-identically; see
+  // EnergyReport::from_accountants).
+  ScenarioResult result;
+  result.scheme = scenario_.scheme;
+  sim::SimTime span_end = sim::SimTime::origin();
+  for (const Shard& sh : fleet) span_end = std::max(span_end, sh.sim.now());
+  result.span = span_end - sim::SimTime::origin();
+
+  // Close every hub's power segments at the fleet-wide end time: a shard
+  // whose last event fired early still idles (on every component's resting
+  // state) until the fleet finishes, exactly as it would sharing the
+  // single-thread clock. run_until on a drained simulator only advances
+  // the clock — no events, no coroutine frames.
+  for (Shard& sh : fleet) {
+    sh.sim.run_until(span_end);
+    for (auto& hub : sh.hubs) hub.flush_power();
+    sh.acct.check_conservation();
+  }
+
+  std::vector<const energy::EnergyAccountant*> ledgers;
+  ledgers.reserve(s_count);
+  for (const Shard& sh : fleet) ledgers.push_back(&sh.acct);
+  result.energy = energy::EnergyReport::from_accountants(ledgers, result.span);
+  {
+    energy::CongestionSummary congestion;
+    congestion.modeled = false;
+    congestion.utilization = 0.0;  // == IdealMedium utilization, always
+    for (const Shard& sh : fleet) {
+      const net::MediumStats net_stats = sh.medium.stats();
+      congestion.airtime_wait += net_stats.totals.airtime_wait;
+      congestion.grants += net_stats.totals.grants;
+      congestion.retries += net_stats.totals.retries;
+      congestion.drops += net_stats.totals.drops;
+    }
+    result.energy.set_congestion(congestion);
+  }
+  {
+    energy::KernelSummary kernel;
+    kernel.shards = static_cast<int>(s_count);
+    for (const Shard& sh : fleet) {
+      const sim::SimulatorStats kernel_stats = sh.sim.stats();
+      kernel.events_dispatched += kernel_stats.events_dispatched;
+      kernel.peak_queue_depth = std::max(kernel.peak_queue_depth, kernel_stats.peak_queue_depth);
+    }
+    kernel.scheduler = std::string{sim::to_string(fleet.front().sim.stats().scheduler)};
+    result.energy.set_kernel(std::move(kernel));
+  }
+
+  std::vector<HarvestEntry> entries;
+  entries.reserve(n);
+  for (const Shard& sh : fleet) {
+    for (const HubRuntime& hub : sh.hubs) entries.push_back(HarvestEntry{&hub, &sh.acct});
+  }
+  harvest_fleet(result, scenario_, entries);
+  return result;
+}
+
+ScenarioResult run_scenario(Scenario scenario, ExecPolicy policy) {
   ScenarioRunner runner{std::move(scenario)};
-  return runner.run();
+  return runner.run(policy);
 }
 
 }  // namespace iotsim::core

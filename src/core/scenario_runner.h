@@ -3,11 +3,17 @@
 // The per-hub machinery (hub hardware, sensors, streams, executors, offload
 // plan, QoS) lives in core::HubRuntime; the runner's job is the fleet shape:
 // resolve the scenario's hub list (one legacy hub or a count-expanded
-// HubInstance fleet), drive every HubRuntime from one shared Simulator and
-// one shared EnergyAccountant, and collect the fleet-level plus per-hub
-// sections of the ScenarioResult.
+// HubInstance fleet), drive every HubRuntime, and collect the fleet-level
+// plus per-hub sections of the ScenarioResult.
+//
+// Execution shape is a separate axis (core/exec_policy.h): run() drives the
+// whole fleet from one Simulator on the calling thread; run(policy) may
+// split an uncoupled fleet into contiguous hub blocks, one Simulator and
+// energy ledger per shard on its own worker thread, merging results in
+// shard order so the output is byte-identical either way.
 #pragma once
 
+#include "core/exec_policy.h"
 #include "core/reports.h"
 #include "core/scenario.h"
 // Part of this header's established surface: consumers of the runner build
@@ -22,16 +28,28 @@ class ScenarioRunner {
  public:
   explicit ScenarioRunner(Scenario scenario) : scenario_{std::move(scenario)} {}
 
-  /// Runs the whole scenario; every call builds a fresh simulation. If the
-  /// scenario fails Scenario::validate(), nothing runs and the returned
-  /// result carries the errors.
+  /// Runs the whole scenario single-threaded; every call builds a fresh
+  /// simulation. If the scenario fails Scenario::validate(), nothing runs
+  /// and the returned result carries the errors.
   [[nodiscard]] ScenarioResult run();
 
+  /// Runs under `policy`, sharding the fleet when the scenario permits it.
+  /// Results are byte-identical to run() for every policy.
+  [[nodiscard]] ScenarioResult run(const ExecPolicy& policy);
+
+  /// The shard count run(policy) would actually use for this scenario:
+  /// `policy.shards` clamped to the fleet size, collapsed to 1 when hubs
+  /// couple through a shared access point or a power trace is recorded.
+  [[nodiscard]] int effective_shards(const ExecPolicy& policy) const;
+
  private:
+  [[nodiscard]] ScenarioResult run_single();
+  [[nodiscard]] ScenarioResult run_sharded(int shards, sim::Duration window);
+
   Scenario scenario_;
 };
 
 /// Convenience: run one scenario.
-[[nodiscard]] ScenarioResult run_scenario(Scenario scenario);
+[[nodiscard]] ScenarioResult run_scenario(Scenario scenario, ExecPolicy policy = {});
 
 }  // namespace iotsim::core

@@ -209,10 +209,10 @@ std::vector<ScenarioResult> SweepRunner::run(const std::vector<Scenario>& scenar
           std::min<std::size_t>(static_cast<std::size_t>(jobs()), to_run.size()))};
       for (std::size_t k = 0; k < to_run.size(); ++k) {
         const std::size_t idx = to_run[k];
-        pool.submit([&scenarios, &slots, &failures, k, idx] {
+        pool.submit([this, &scenarios, &slots, &failures, k, idx] {
           try {
-            slots[idx] =
-                std::make_shared<const ScenarioResult>(run_scenario(scenarios[idx]));
+            slots[idx] = std::make_shared<const ScenarioResult>(
+                run_scenario(scenarios[idx], opts_.exec));
           } catch (...) {
             failures[k] = std::current_exception();
           }
@@ -224,6 +224,9 @@ std::vector<ScenarioResult> SweepRunner::run(const std::vector<Scenario>& scenar
       if (failure) std::rethrow_exception(failure);
     }
     stats_.executed += to_run.size();
+    for (const std::size_t idx : to_run) {
+      stats_.events_dispatched += slots[idx]->energy.kernel().events_dispatched;
+    }
   }
 
   if (opts_.memoize) {
@@ -247,15 +250,18 @@ ScenarioResult SweepRunner::run_one(const Scenario& scenario) {
   }
   if (!opts_.memoize) {
     ++stats_.executed;
-    return run_scenario(scenario);
+    ScenarioResult result = run_scenario(scenario, opts_.exec);
+    stats_.events_dispatched += result.energy.kernel().events_dispatched;
+    return result;
   }
   std::string key = scenario_key(scenario);
   if (auto it = cache_.find(key); it != cache_.end()) {
     ++stats_.cache_hits;
     return *it->second;
   }
-  auto result = std::make_shared<const ScenarioResult>(run_scenario(scenario));
+  auto result = std::make_shared<const ScenarioResult>(run_scenario(scenario, opts_.exec));
   ++stats_.executed;
+  stats_.events_dispatched += result->energy.kernel().events_dispatched;
   cache_.emplace(std::move(key), result);
   return *result;
 }

@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/exec_policy.h"
 #include "core/reports.h"
 #include "core/scenario.h"
 
@@ -37,6 +38,9 @@ struct SweepOptions {
   int jobs = 0;
   /// Reuse results for content-identical scenarios (across run() calls too).
   bool memoize = true;
+  /// Per-scenario execution shape (sharding). Never part of the memo key:
+  /// results are byte-identical across policies by construction.
+  ExecPolicy exec{};
 };
 
 struct SweepStats {
@@ -44,6 +48,9 @@ struct SweepStats {
   std::uint64_t executed = 0;    // scenarios actually simulated
   std::uint64_t cache_hits = 0;  // served from the memo (or deduplicated)
   std::uint64_t invalid = 0;     // failed Scenario::validate(), never ran
+  /// Kernel events dispatched by executed scenarios (memo hits add nothing)
+  /// — the honest numerator for a bench's events/sec.
+  std::uint64_t events_dispatched = 0;
 };
 
 class SweepRunner {

@@ -6,14 +6,12 @@
 
 namespace iotsim::energy {
 
-EnergyReport EnergyReport::from_accountant(const EnergyAccountant& acct, sim::Duration elapsed) {
-  return from_accountant(acct, elapsed, std::string_view{});
-}
-
-EnergyReport EnergyReport::from_accountant(const EnergyAccountant& acct, sim::Duration elapsed,
-                                           std::string_view component_prefix) {
-  EnergyReport r;
-  r.elapsed_ = elapsed;
+/// Accumulates one ledger's components (in registration order) into `r`.
+/// This loop body — and its iteration order — IS the fleet float-summation
+/// contract: from_accountants() replays it per shard ledger so sharded runs
+/// reproduce a shared ledger's sums bit for bit.
+void EnergyReport::accumulate(EnergyReport& r, const EnergyAccountant& acct,
+                              std::string_view component_prefix) {
   for (ComponentId c = 0; c < acct.component_count(); ++c) {
     const std::string& name = acct.component_name(c);
     if (!component_prefix.empty() &&
@@ -29,6 +27,17 @@ EnergyReport EnergyReport::from_accountant(const EnergyAccountant& acct, sim::Du
       r.busy_[index_of(rt)] += acct.busy_time(c, rt);
     }
   }
+}
+
+EnergyReport EnergyReport::from_accountant(const EnergyAccountant& acct, sim::Duration elapsed) {
+  return from_accountant(acct, elapsed, std::string_view{});
+}
+
+EnergyReport EnergyReport::from_accountant(const EnergyAccountant& acct, sim::Duration elapsed,
+                                           std::string_view component_prefix) {
+  EnergyReport r;
+  r.elapsed_ = elapsed;
+  accumulate(r, acct, component_prefix);
   // Conservation: an unfiltered snapshot must carry exactly the ledger's
   // total; a prefix-filtered one can only carry a subset of it.
   const double total = r.total_joules();
@@ -42,6 +51,23 @@ EnergyReport EnergyReport::from_accountant(const EnergyAccountant& acct, sim::Du
                     static_cast<int>(component_prefix.size()), component_prefix.data(), total,
                     ledger);
   }
+  return r;
+}
+
+EnergyReport EnergyReport::from_accountants(const std::vector<const EnergyAccountant*>& accts,
+                                            sim::Duration elapsed) {
+  EnergyReport r;
+  r.elapsed_ = elapsed;
+  double ledger = 0.0;
+  for (const EnergyAccountant* acct : accts) {
+    accumulate(r, *acct, std::string_view{});
+    ledger += acct->total_joules();
+  }
+  const double total = r.total_joules();
+  const double tol = 1e-9 * (std::abs(ledger) > 1.0 ? std::abs(ledger) : 1.0);
+  IOTSIM_CHECK_LE(std::abs(total - ledger), tol,
+                  "merged report total %.12g J diverges from %zu ledgers' total %.12g J", total,
+                  accts.size(), ledger);
   return r;
 }
 

@@ -4,9 +4,11 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "energy/energy_accountant.h"
 #include "energy/routine.h"
@@ -29,6 +31,18 @@ struct CongestionSummary {
   std::uint64_t drops = 0;    ///< bursts rejected (pending queue full)
 };
 
+/// How the kernel executed a run (set by the scenario runner from
+/// Simulator::stats()). `events_dispatched` is deterministic — equal for a
+/// single-thread run and any sharding of it, since sharding partitions the
+/// same event set. The rest describes execution shape: peak depth splits
+/// across shards, and scheduler/shards depend on how the run was launched.
+struct KernelSummary {
+  std::uint64_t events_dispatched = 0;
+  std::size_t peak_queue_depth = 0;  ///< max over shards
+  std::string scheduler;             ///< sim::to_string(SchedulerKind) of shard 0
+  int shards = 1;                    ///< effective shard count
+};
+
 class EnergyReport {
  public:
   EnergyReport() = default;
@@ -43,6 +57,14 @@ class EnergyReport {
   /// (Σ routine == Σ component == ∫P dt) holds per slice by construction.
   static EnergyReport from_accountant(const EnergyAccountant& acct, sim::Duration elapsed,
                                       std::string_view component_prefix);
+
+  /// Snapshots several ledgers as one fleet report, iterating the ledgers
+  /// in the order given. When shard s holds the fleet's hubs
+  /// [s·n/S, (s+1)·n/S) this visits components in exactly the order a
+  /// single shared ledger would have registered them, so the floating-point
+  /// sums are bit-identical to a single-thread run's.
+  static EnergyReport from_accountants(const std::vector<const EnergyAccountant*>& accts,
+                                       sim::Duration elapsed);
 
   [[nodiscard]] double joules(Routine r) const { return routine_j_[index_of(r)]; }
   [[nodiscard]] double total_joules() const;
@@ -73,12 +95,23 @@ class EnergyReport {
   [[nodiscard]] const CongestionSummary& congestion() const { return congestion_; }
   void set_congestion(const CongestionSummary& c) { congestion_ = c; }
 
+  /// Kernel execution counters for the run this report covers (fleet-level
+  /// reports only; per-hub slices leave it default).
+  [[nodiscard]] const KernelSummary& kernel() const { return kernel_; }
+  void set_kernel(KernelSummary k) { kernel_ = std::move(k); }
+
  private:
+  /// Shared ledger-walk of from_accountant / from_accountants; its iteration
+  /// order is the fleet float-summation contract.
+  static void accumulate(EnergyReport& r, const EnergyAccountant& acct,
+                         std::string_view component_prefix);
+
   std::array<double, kRoutineCount> routine_j_{};
   std::array<sim::Duration, kRoutineCount> busy_{};
   std::map<std::string, std::array<double, kRoutineCount>> component_j_;
   sim::Duration elapsed_ = sim::Duration::zero();
   CongestionSummary congestion_;
+  KernelSummary kernel_;
 };
 
 }  // namespace iotsim::energy

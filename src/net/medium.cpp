@@ -1,8 +1,16 @@
 #include "net/medium.h"
 
+#include <algorithm>
+
 #include "check/check.h"
 
 namespace iotsim::net {
+
+double Medium::utilization(sim::SimTime now) const {
+  const sim::Duration elapsed = now - sim::SimTime::origin();
+  if (elapsed <= sim::Duration::zero()) return 0.0;
+  return std::min(1.0, stats().busy_airtime.to_seconds() / elapsed.to_seconds());
+}
 
 std::size_t IdealMedium::attach(std::string /*name*/, sim::Rng /*backoff_rng*/) {
   stats_.emplace_back();
@@ -21,10 +29,15 @@ const AirtimeStats& IdealMedium::stats(std::size_t attachment) const {
   return stats_[attachment];
 }
 
-AirtimeStats IdealMedium::totals() const {
-  AirtimeStats sum;
-  for (const AirtimeStats& s : stats_) sum += s;
-  return sum;
+MediumStats IdealMedium::stats() const {
+  MediumStats out;
+  out.kind = "ideal";
+  out.attachments = stats_.size();
+  for (const AirtimeStats& s : stats_) out.totals += s;
+  // busy_airtime stays zero and next_free infinite: nobody ever waits, which
+  // is exactly the fleet executor's licence to run hubs decoupled.
+  out.next_free = sim::SimTime::infinite();
+  return out;
 }
 
 }  // namespace iotsim::net

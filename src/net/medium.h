@@ -7,6 +7,10 @@
 // byte-identically); SharedAccessPoint models a finite uplink with
 // contention (see shared_access_point.h).
 //
+// Statistics go through one value-returning snapshot, Medium::stats() →
+// MediumStats; the legacy totals()/utilization() accessors remain as thin
+// deprecated wrappers over it for this release.
+//
 // Determinism contract: acquire() may only suspend on kernel awaitables
 // (Delay), and any randomness (CSMA backoff) must come from the sim::Rng
 // handed over at attach() — derived from the hub seed, never from wall
@@ -18,6 +22,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/process.h"
@@ -48,6 +53,19 @@ struct Grant {
   sim::Duration airtime;  ///< time the burst occupies the channel once started
 };
 
+/// One coherent snapshot of a medium's identity, counters, and channel
+/// state — the single statistics surface for every Medium implementation.
+/// `next_free` doubles as the fleet executor's coupling signal: an infinite
+/// value means the medium never makes anyone wait, so hubs are independent.
+struct MediumStats {
+  std::string_view kind;        ///< "ideal" | "shared-ap-fifo" | "shared-ap-csma"
+  std::size_t attachments = 0;  ///< NICs attached so far
+  AirtimeStats totals;          ///< sum of per-attachment counters
+  sim::Duration busy_airtime;   ///< total channel-occupied time (zero if ideal)
+  int pending = 0;              ///< bursts currently waiting for the channel
+  sim::SimTime next_free = sim::SimTime::origin();  ///< when the current reservation ends
+};
+
 /// Airtime arbiter shared by a fleet's NICs.
 class Medium {
  public:
@@ -72,13 +90,20 @@ class Medium {
   [[nodiscard]] virtual sim::Task<Grant> acquire(std::size_t attachment, std::size_t bytes,
                                                  sim::Duration nic_wire) = 0;
 
+  /// Per-attachment counters.
   [[nodiscard]] virtual const AirtimeStats& stats(std::size_t attachment) const = 0;
 
-  /// Sum of stats() over all attachments.
-  [[nodiscard]] virtual AirtimeStats totals() const = 0;
+  /// The whole medium's state and counters as one snapshot — the single
+  /// statistics surface. Everything below derives from it.
+  [[nodiscard]] virtual MediumStats stats() const = 0;
+
+  /// Sum of per-attachment counters.
+  /// @deprecated Thin wrapper over stats().totals; will be removed.
+  [[nodiscard]] AirtimeStats totals() const { return stats().totals; }
 
   /// Fraction of elapsed simulated time the channel carried a burst.
-  [[nodiscard]] virtual double utilization(sim::SimTime now) const = 0;
+  /// @deprecated Thin wrapper computed from stats(); will be removed.
+  [[nodiscard]] double utilization(sim::SimTime now) const;
 };
 
 /// Infinite-capacity ether: every burst is granted instantly at the NIC's
@@ -91,8 +116,7 @@ class IdealMedium final : public Medium {
   [[nodiscard]] sim::Task<Grant> acquire(std::size_t attachment, std::size_t bytes,
                                          sim::Duration nic_wire) override;
   [[nodiscard]] const AirtimeStats& stats(std::size_t attachment) const override;
-  [[nodiscard]] AirtimeStats totals() const override;
-  [[nodiscard]] double utilization(sim::SimTime /*now*/) const override { return 0.0; }
+  [[nodiscard]] MediumStats stats() const override;
 
  private:
   std::vector<AirtimeStats> stats_;

@@ -99,16 +99,17 @@ const AirtimeStats& SharedAccessPoint::stats(std::size_t attachment) const {
   return attachments_[attachment].stats;
 }
 
-AirtimeStats SharedAccessPoint::totals() const {
-  AirtimeStats sum;
-  for (const Attachment& att : attachments_) sum += att.stats;
-  return sum;
-}
-
-double SharedAccessPoint::utilization(sim::SimTime now) const {
-  const sim::Duration elapsed = now - sim::SimTime::origin();
-  if (elapsed <= sim::Duration::zero()) return 0.0;
-  return std::min(1.0, busy_airtime_.to_seconds() / elapsed.to_seconds());
+MediumStats SharedAccessPoint::stats() const {
+  MediumStats out;
+  out.kind = cfg_.backoff == BackoffPolicy::kFifo ? "shared-ap-fifo" : "shared-ap-csma";
+  out.attachments = attachments_.size();
+  for (const Attachment& att : attachments_) out.totals += att.stats;
+  out.busy_airtime = busy_airtime_;
+  out.pending = waiting_;
+  // The conservative sharding window: no queued burst can be granted before
+  // the current reservation ends.
+  out.next_free = next_free_;
+  return out;
 }
 
 }  // namespace iotsim::net

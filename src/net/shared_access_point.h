@@ -38,11 +38,11 @@ class SharedAccessPoint final : public Medium {
   [[nodiscard]] sim::Task<Grant> acquire(std::size_t attachment, std::size_t bytes,
                                          sim::Duration nic_wire) override;
   [[nodiscard]] const AirtimeStats& stats(std::size_t attachment) const override;
-  [[nodiscard]] AirtimeStats totals() const override;
-  [[nodiscard]] double utilization(sim::SimTime now) const override;
+  [[nodiscard]] MediumStats stats() const override;
 
   [[nodiscard]] const ApConfig& config() const { return cfg_; }
   /// Bursts currently waiting for the channel.
+  /// @deprecated Thin wrapper over stats().pending; will be removed.
   [[nodiscard]] int pending() const { return waiting_; }
 
  private:

@@ -1,0 +1,149 @@
+#include "sim/calendar_queue.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "check/check.h"
+
+namespace iotsim::sim {
+
+namespace {
+
+constexpr std::size_t kMinBuckets = 16;
+constexpr std::size_t kMaxBuckets = std::size_t{1} << 20;
+/// Rebuild once the population exceeds this many entries per bucket.
+constexpr std::size_t kGrowPerBucket = 4;
+
+[[nodiscard]] std::size_t pow2_at_least(std::size_t v) {
+  std::size_t p = kMinBuckets;
+  while (p < v && p < kMaxBuckets) p <<= 1;
+  return p;
+}
+
+[[nodiscard]] std::int64_t sat_add(std::int64_t a, std::int64_t b) {
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  return a > kMax - b ? kMax : a + b;
+}
+
+}  // namespace
+
+CalendarQueue::CalendarQueue() : buckets_(kMinBuckets), mask_{kMinBuckets - 1} {}
+
+CalendarQueue::CalendarQueue(std::vector<SchedEntry> entries) : CalendarQueue() {
+  const std::size_t n = entries.size();
+  if (n > 0) adopt(std::move(entries), n);
+}
+
+void CalendarQueue::adopt(std::vector<SchedEntry> all, std::size_t population) {
+  // Derive the calendar layout from the population: one calendar year spans
+  // the observed time range, so a uniformly dense population puts O(1)
+  // entries in each bucket's current day.
+  std::int64_t lo = std::numeric_limits<std::int64_t>::max();
+  std::int64_t hi = 0;
+  for (const SchedEntry& e : all) {
+    lo = std::min(lo, e.time.count_ns());
+    hi = std::max(hi, e.time.count_ns());
+  }
+  const auto n = static_cast<std::int64_t>(std::max<std::size_t>(1, all.size()));
+  width_ns_ = std::max<std::int64_t>(1, (hi - lo) / n);
+  const std::size_t count = pow2_at_least(population);
+  buckets_.assign(count, Bucket{});
+  mask_ = count - 1;
+  cursor_ns_ = all.empty() ? 0 : lo;
+  size_ = all.size();
+  cached_min_ = -1;
+  for (const SchedEntry& e : all) buckets_[bucket_index(e.time)].push(e);
+}
+
+void CalendarQueue::rebuild(std::size_t population) {
+  std::vector<SchedEntry> all;
+  all.reserve(size_);
+  for (Bucket& b : buckets_) {
+    while (!b.empty()) {
+      all.push_back(b.top());
+      b.pop();
+    }
+  }
+  adopt(std::move(all), population);
+}
+
+void CalendarQueue::push(SchedEntry e) {
+  IOTSIM_CHECK_GE(e.time.count_ns(), 0, "CalendarQueue: negative event time");
+  if (size_ + 1 > kGrowPerBucket * buckets_.size() && buckets_.size() < kMaxBuckets) {
+    rebuild(size_ + 1);
+  }
+  if (cached_min_ >= 0 && e < buckets_[static_cast<std::size_t>(cached_min_)].top()) {
+    cached_min_ = -1;
+  }
+  buckets_[bucket_index(e.time)].push(e);
+  ++size_;
+  cursor_ns_ = std::min(cursor_ns_, e.time.count_ns());
+}
+
+std::size_t CalendarQueue::find_min_bucket() {
+  IOTSIM_CHECK_GT(size_, std::size_t{0}, "CalendarQueue: scan on empty queue");
+  if (cached_min_ >= 0) return static_cast<std::size_t>(cached_min_);
+  // Walk the calendar from the cursor's day: entries whose time falls in
+  // day D live only in bucket D % N, so the first in-day top is the global
+  // minimum (equal timestamps share a bucket; the bucket heap breaks ties
+  // on seq).
+  std::int64_t day_start = cursor_ns_ - cursor_ns_ % width_ns_;
+  std::size_t b = static_cast<std::size_t>(day_start / width_ns_) & mask_;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::int64_t day_end = sat_add(day_start, width_ns_);
+    const Bucket& bucket = buckets_[b];
+    if (!bucket.empty() && bucket.top().time.count_ns() < day_end) {
+      cached_min_ = static_cast<std::ptrdiff_t>(b);
+      return b;
+    }
+    day_start = day_end;
+    b = (b + 1) & mask_;
+  }
+  // Sparse tail: nothing within one calendar year of the cursor. Jump
+  // straight to the global minimum (O(buckets), rare by construction).
+  std::size_t best = 0;
+  bool found = false;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i].empty()) continue;
+    if (!found || buckets_[i].top() < buckets_[best].top()) {
+      best = i;
+      found = true;
+    }
+  }
+  IOTSIM_CHECK(found, "CalendarQueue: populated queue with no occupied bucket");
+  cursor_ns_ = buckets_[best].top().time.count_ns();
+  cached_min_ = static_cast<std::ptrdiff_t>(best);
+  return best;
+}
+
+SchedEntry CalendarQueue::peek() { return buckets_[find_min_bucket()].top(); }
+
+SchedEntry CalendarQueue::pop() {
+  const std::size_t b = find_min_bucket();
+  Bucket& bucket = buckets_[b];
+  const SchedEntry e = bucket.top();
+  bucket.pop();
+  --size_;
+  cursor_ns_ = e.time.count_ns();
+  cached_min_ = -1;
+  // Dense-population fast path: if the popped bucket's next entry is still
+  // inside the same calendar day it is the new global minimum — no rescan.
+  if (!bucket.empty()) {
+    const std::int64_t day_end = sat_add(e.time.count_ns() - e.time.count_ns() % width_ns_,
+                                         width_ns_);
+    if (bucket.top().time.count_ns() < day_end) cached_min_ = static_cast<std::ptrdiff_t>(b);
+  }
+  return e;
+}
+
+void CalendarQueue::clear() {
+  buckets_.assign(kMinBuckets, Bucket{});
+  mask_ = kMinBuckets - 1;
+  width_ns_ = 1;
+  size_ = 0;
+  cursor_ns_ = 0;
+  cached_min_ = -1;
+}
+
+}  // namespace iotsim::sim

@@ -1,17 +1,30 @@
 #include "sim/event_queue.h"
 
 #include <utility>
+#include <vector>
 
 #include "check/check.h"
+#include "sim/calendar_queue.h"
 
 namespace iotsim::sim {
+
+EventQueue::EventQueue()
+    : impl_{std::make_unique<BinaryHeapScheduler>()}, pending_{&node_pool_} {}
 
 EventId EventQueue::schedule(SimTime when, Callback cb) {
   IOTSIM_CHECK_GE(when, SimTime::origin(), "event scheduled before simulation start");
   const EventId id = next_id_++;
-  heap_.push(Entry{when, id, id});
+  impl_->push(SchedEntry{when, id});
   pending_.emplace(id, std::move(cb));
   ++live_count_;
+  if (live_count_ > peak_count_) peak_count_ = live_count_;
+  // Fleet pressure: a binary heap pays O(log n) per event; past the
+  // threshold the calendar queue's amortised O(1) wins. One-way — fleets
+  // stay dense once they are dense.
+  if (!pinned_ && live_count_ >= kCalendarSwitchThreshold &&
+      impl_->kind() == SchedulerKind::kBinaryHeap) {
+    migrate_to(SchedulerKind::kCalendar);
+  }
   return id;
 }
 
@@ -21,38 +34,60 @@ void EventQueue::cancel(EventId id) {
   }
 }
 
+void EventQueue::migrate_to(SchedulerKind kind) {
+  if (impl_->kind() == kind) return;
+  std::vector<SchedEntry> entries;
+  entries.reserve(impl_->size());
+  while (!impl_->empty()) {
+    const SchedEntry e = impl_->pop();
+    // Cancelled stragglers are dropped here instead of migrating.
+    if (pending_.contains(e.seq)) entries.push_back(e);
+  }
+  if (kind == SchedulerKind::kCalendar) {
+    impl_ = std::make_unique<CalendarQueue>(std::move(entries));
+  } else {
+    auto heap = std::make_unique<BinaryHeapScheduler>();
+    for (const SchedEntry& e : entries) heap->push(e);
+    impl_ = std::move(heap);
+  }
+}
+
+void EventQueue::force_scheduler(SchedulerKind kind) {
+  migrate_to(kind);
+  pinned_ = true;
+}
+
 void EventQueue::drop_cancelled_front() {
-  while (!heap_.empty() && !pending_.contains(heap_.top().id)) {
-    heap_.pop();
+  while (!impl_->empty() && !pending_.contains(impl_->peek().seq)) {
+    impl_->pop();
   }
 }
 
 SimTime EventQueue::next_time() {
   drop_cancelled_front();
-  if (heap_.empty()) return SimTime::infinite();
-  return heap_.top().time;
+  if (impl_->empty()) return SimTime::infinite();
+  return impl_->peek().time;
 }
 
 EventQueue::Popped EventQueue::pop() {
   drop_cancelled_front();
-  IOTSIM_CHECK(!heap_.empty(), "pop() on empty EventQueue");
-  const Entry e = heap_.top();
-  heap_.pop();
+  IOTSIM_CHECK(!impl_->empty(), "pop() on empty EventQueue");
+  const SchedEntry e = impl_->pop();
   // Time monotonicity: the kernel clock never moves backwards. A violation
-  // here means heap ordering or a scheduling path is broken.
+  // here means scheduler ordering or a scheduling path is broken.
   IOTSIM_CHECK_GE(e.time, last_popped_, "event %llu fires at t=%s, before already-popped t=%s",
-                  static_cast<unsigned long long>(e.id), e.time.to_string().c_str(),
+                  static_cast<unsigned long long>(e.seq), e.time.to_string().c_str(),
                   last_popped_.to_string().c_str());
   last_popped_ = e.time;
-  auto it = pending_.find(e.id);
-  Popped out{e.time, e.id, std::move(it->second)};
+  auto it = pending_.find(e.seq);
+  Popped out{e.time, e.seq, std::move(it->second)};
   pending_.erase(it);
   --live_count_;
   return out;
 }
 
 void EventQueue::clear() {
-  heap_ = {};
+  impl_->clear();
   pending_.clear();
   live_count_ = 0;
   last_popped_ = SimTime::origin();

@@ -2,14 +2,22 @@
 //
 // Events at equal timestamps fire in insertion order (FIFO tie-break), which
 // makes multi-component simulations reproducible run to run.
+//
+// Ordering is delegated to a pluggable sim::Scheduler: a binary heap by
+// default, migrating automatically to a bucketed CalendarQueue once the
+// live population crosses kCalendarSwitchThreshold (fleet pressure). Both
+// yield the identical pop sequence, so the switch never changes results.
+// Callback nodes live in a per-queue pool resource, so a sharded fleet's
+// kernels never contend on the global allocator for event bookkeeping.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
+#include <memory_resource>
 #include <unordered_map>
-#include <vector>
 
+#include "sim/scheduler.h"
 #include "sim/sim_time.h"
 
 namespace iotsim::sim {
@@ -19,6 +27,12 @@ using EventId = std::uint64_t;
 class EventQueue {
  public:
   using Callback = std::function<void()>;
+
+  /// Live events beyond which the queue migrates from the binary heap to
+  /// the calendar queue (one-way; see force_scheduler for tests).
+  static constexpr std::size_t kCalendarSwitchThreshold = 4096;
+
+  EventQueue();
 
   /// Schedules `cb` to run at absolute time `when`. Returns a handle that can
   /// be passed to `cancel`.
@@ -30,6 +44,8 @@ class EventQueue {
 
   [[nodiscard]] bool empty() const { return live_count_ == 0; }
   [[nodiscard]] std::size_t size() const { return live_count_; }
+  /// High-water mark of the live event population.
+  [[nodiscard]] std::size_t peak_size() const { return peak_count_; }
 
   /// Time of the earliest live event; SimTime::infinite() when empty.
   [[nodiscard]] SimTime next_time();
@@ -44,27 +60,28 @@ class EventQueue {
 
   void clear();
 
+  /// The ordering structure currently in use.
+  [[nodiscard]] SchedulerKind scheduler_kind() const { return impl_->kind(); }
+  /// Migrates to `kind` now and pins it (disables the automatic switch).
+  /// Test/bench hook — the pop order is identical either way.
+  void force_scheduler(SchedulerKind kind);
+
  private:
-  struct Entry {
-    SimTime time;
-    std::uint64_t seq;
-    EventId id;
-    // std::greater on Entry gives a min-heap on (time, seq).
-    bool operator>(const Entry& o) const {
-      if (time != o.time) return time > o.time;
-      return seq > o.seq;
-    }
-  };
-
-  /// Pops heap entries whose callback was cancelled.
+  /// Pops scheduler entries whose callback was cancelled.
   void drop_cancelled_front();
+  /// Moves every pending entry onto a scheduler of `kind`.
+  void migrate_to(SchedulerKind kind);
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  // Callbacks live beside the heap so Entry stays trivially movable; an id
-  // missing from this map means the event was cancelled.
-  std::unordered_map<EventId, Callback> pending_;
+  std::unique_ptr<Scheduler> impl_;
+  bool pinned_ = false;  // force_scheduler() disables auto-migration
+  // Callbacks live beside the scheduler so SchedEntry stays trivially
+  // movable; an id missing from this map means the event was cancelled.
+  // Node storage comes from the queue-local pool.
+  std::pmr::unsynchronized_pool_resource node_pool_;
+  std::pmr::unordered_map<EventId, Callback> pending_;
   std::uint64_t next_id_ = 1;
   std::size_t live_count_ = 0;
+  std::size_t peak_count_ = 0;
   // High-water mark of popped event times; pop() checks monotonicity
   // against it (IOTSIM_CHECK) — the kernel's core ordering invariant.
   SimTime last_popped_ = SimTime::origin();

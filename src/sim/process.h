@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/arena.h"
 #include "sim/sim_time.h"
 
 namespace iotsim::sim {
@@ -28,10 +29,20 @@ namespace detail {
 
 /// State shared by every task promise; awaitables reach the Simulator
 /// through it.
+///
+/// The allocation operators route coroutine frames through the thread's
+/// current Arena (sim/arena.h) when an ArenaScope is active — per-shard
+/// frame churn without global-allocator traffic — and fall back to the
+/// global heap otherwise. Lookup finds them here for both Task<T> and
+/// Task<void> promise types.
 struct PromiseBase {
   Simulator* sim = nullptr;
   std::coroutine_handle<> continuation{};
   std::exception_ptr exception{};
+
+  static void* operator new(std::size_t size) { return frame_allocate(size); }
+  static void operator delete(void* p) noexcept { frame_free(p); }
+  static void operator delete(void* p, std::size_t) noexcept { frame_free(p); }
 };
 
 /// At a task's final suspend point, control transfers to the awaiting parent

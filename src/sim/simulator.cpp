@@ -37,28 +37,43 @@ void Simulator::advance_to(SimTime t) {
   for (auto& l : clock_listeners_) l(now_);
 }
 
-std::uint64_t Simulator::run() { return run_until(SimTime::infinite()); }
+void Simulator::run() { dispatch_loop(SimTime::infinite(), /*settle_at_limit=*/false); }
 
-std::uint64_t Simulator::run_until(SimTime deadline) {
+void Simulator::run_until(SimTime deadline) { dispatch_loop(deadline, /*settle_at_limit=*/true); }
+
+void Simulator::drain_until(SimTime horizon) {
+  dispatch_loop(horizon, /*settle_at_limit=*/false);
+}
+
+void Simulator::dispatch_loop(SimTime limit, bool settle_at_limit) {
   assert(!running_ && "re-entrant run()");
   running_ = true;
   stop_requested_ = false;
-  std::uint64_t dispatched = 0;
   while (!stop_requested_ && !queue_.empty()) {
-    if (queue_.next_time() > deadline) {
-      advance_to(deadline);
-      break;
+    if (queue_.next_time() > limit) {
+      if (settle_at_limit) advance_to(limit);
+      running_ = false;
+      return;
     }
     auto ev = queue_.pop();
     advance_to(ev.time);
     ev.callback();
-    ++dispatched;
+    ++dispatched_;
   }
-  if (queue_.empty() && deadline != SimTime::infinite() && now_ < deadline && !stop_requested_) {
-    advance_to(deadline);
+  if (settle_at_limit && queue_.empty() && limit != SimTime::infinite() && now_ < limit &&
+      !stop_requested_) {
+    advance_to(limit);
   }
   running_ = false;
-  return dispatched;
+}
+
+SimulatorStats Simulator::stats() const {
+  return SimulatorStats{
+      .events_dispatched = dispatched_,
+      .pending_events = queue_.size(),
+      .peak_queue_depth = queue_.peak_size(),
+      .scheduler = queue_.scheduler_kind(),
+  };
 }
 
 std::size_t Simulator::live_processes() const {

@@ -252,5 +252,42 @@ TEST(SharedAccessPoint, FreeNowTracksTheReservation) {
   sim.run();
 }
 
+TEST(MediumStats, AggregateSnapshotMatchesLegacyAccessors) {
+  sim::Simulator sim;
+  SharedAccessPoint ap{sim, fast_ap()};
+  const std::size_t a = ap.attach("nic_a", Rng{1});
+  const std::size_t b = ap.attach("nic_b", Rng{2});
+
+  auto send = [&](std::size_t att, Duration airtime) -> Task<void> {
+    const Grant g = co_await ap.acquire(att, 1000, airtime);
+    EXPECT_TRUE(g.granted);
+    co_await sim::Delay{g.airtime};
+  };
+  sim.spawn(send(a, Duration::ms(100)));
+  sim.spawn(send(b, Duration::ms(40)));
+  sim.run();
+
+  const MediumStats s = ap.stats();
+  EXPECT_EQ(s.kind, "shared-ap-fifo");
+  EXPECT_EQ(s.attachments, 2u);
+  EXPECT_EQ(s.pending, 0);
+  // The one aggregate snapshot carries what the legacy accessors reported.
+  EXPECT_EQ(s.totals.grants, ap.totals().grants);
+  EXPECT_EQ(s.totals.airtime_wait, ap.totals().airtime_wait);
+  EXPECT_EQ(s.busy_airtime, Duration::ms(140));
+  EXPECT_DOUBLE_EQ(ap.utilization(sim.now()),
+                   s.busy_airtime.to_seconds() / sim.now().to_seconds());
+  EXPECT_EQ(s.next_free, sim.now());  // last reservation ended exactly now
+
+  sim::Simulator sim2;
+  IdealMedium ideal;
+  (void)ideal.attach("nic", Rng{3});
+  const MediumStats is = ideal.stats();
+  EXPECT_EQ(is.kind, "ideal");
+  EXPECT_EQ(is.attachments, 1u);
+  EXPECT_EQ(is.busy_airtime, Duration::zero());
+  EXPECT_EQ(is.next_free, SimTime::infinite());
+}
+
 }  // namespace
 }  // namespace iotsim::net
