@@ -73,6 +73,16 @@ void AppExecutor::record_completion(int w) {
   qos_.record_window(spec_.id, rec.started, rec.completed);
 }
 
+void AppExecutor::record_lost_window(int w) {
+  auto& rec = records_[static_cast<std::size_t>(w)];
+  rec.window = w;
+  rec.started = collector(w).input.window_start;
+  rec.completed = sim_.now();
+  rec.summary = "window lost: hub down";
+  rec.metric = 0.0;
+  rec.event = false;
+}
+
 Task<void> AppExecutor::net_phase(hw::Processor& host, hw::Nic& nic, std::size_t upload_bytes) {
   const auto& net = spec_.net;
   // Protocol round trips: short bursts of host work, radio-idle waits.
@@ -116,6 +126,10 @@ Task<void> AppExecutor::per_sample_cpu_window(int w) {
   // the barrier (the CPU-side waiting cost lives in the handlers).
   while (!col.complete()) co_await col.done.wait();
 
+  if (window_is_lost(w)) {
+    record_lost_window(w);
+    co_return;
+  }
   co_await execute_sliced(hub_.cpu(), spec_.cpu_compute, Routine::kComputation);
   add_busy(Routine::kComputation, spec_.cpu_compute);
   const auto out = run_kernel(w);
@@ -148,6 +162,10 @@ Task<void> AppExecutor::batched_cpu_window(int w) {
     add_busy(Routine::kDataTransfer, transfer);
   }
 
+  if (window_is_lost(w)) {
+    record_lost_window(w);
+    co_return;
+  }
   co_await execute_sliced(hub_.cpu(), spec_.cpu_compute, Routine::kComputation);
   add_busy(Routine::kComputation, spec_.cpu_compute);
   const auto out = run_kernel(w);
@@ -163,6 +181,10 @@ Task<void> AppExecutor::offloaded_cpu_window(int w) {
   co_await hub_.irq().wait_and_dispatch(line_, hw::SleepPolicy::kDeepSleep,
                                         Routine::kComputation, spec_.window);
   add_busy(Routine::kInterrupt, hub_.spec().interrupt_dispatch);
+  if (window_is_lost(w)) {
+    record_lost_window(w);
+    co_return;
+  }
   co_await hub_.transfer_to_cpu(spec_.result_bytes, Routine::kComputation);
   record_completion(w);
 }
@@ -196,6 +218,12 @@ Task<void> AppExecutor::offloaded_mcu_window(int w) {
   auto& col = collector(w);
   while (!col.complete()) co_await col.done.wait();
 
+  if (window_is_lost(w)) {
+    // Nothing to compute or upload; still wake the CPU so its window loop
+    // advances (the completion IRQ doubles as the reboot heartbeat).
+    co_await hub_.irq().raise(line_);
+    co_return;
+  }
   const Duration mcu_time =
       sim::Duration::from_seconds(spec_.mcu_compute.to_seconds() * tuning_.mcu_speed_factor);
   co_await execute_sliced(hub_.mcu(), mcu_time, Routine::kComputation);

@@ -26,6 +26,8 @@
 #include "core/qos.h"
 #include "core/reports.h"
 #include "core/scheme.h"
+#include "env/fault_profile.h"
+#include "env/hub_environment.h"
 #include "hw/iot_hub.h"
 #include "sensors/sensor.h"
 #include "sim/random.h"
@@ -42,11 +44,22 @@ struct WindowCollector {
   apps::WindowInput input;
   std::size_t expected = 0;
   std::size_t received = 0;
+  std::size_t lost = 0;  // of received: slots delivered as lost markers
   sim::Signal done;
   sim::Signal progress;  // notified on every delivered sample
 
   void add(sensors::SensorId id, sensors::Sample sample) {
     input.samples[id].push_back(std::move(sample));
+    ++received;
+    progress.notify_all();
+    if (received == expected) done.notify_all();
+  }
+  /// A sample slot whose reading was lost (sensor fault after all retries,
+  /// or the hub was down). Keeps the barrier arithmetic intact — received
+  /// still counts towards expected — without feeding the kernel a phantom
+  /// reading.
+  void add_lost() {
+    ++lost;
     ++received;
     progress.notify_all();
     if (received == expected) done.notify_all();
@@ -66,13 +79,17 @@ struct SensorStream {
   AppMode mode = AppMode::kPerSample;
   std::vector<AppExecutor*> subscribers;
   hw::IrqLine line = 0;  // per-sample handoff (kPerSample only)
-  /// §II-B Task I fault model: chance a sensor availability check fails.
-  double fault_prob = 0.0;
-  sim::Rng fault_rng{0};
+  /// §II-B Task I fault model. Seeded by HubRuntime::start() from the hub
+  /// RNG (one fork per stream, in stream order — the legacy fork sequence).
+  std::unique_ptr<env::FaultProfile> fault;
 
   struct Pending {
     sensors::Sample sample;
     int window;
+    /// The reading was lost (fault after retries / hub down): the handler
+    /// dispatches the IRQ but skips the bus transfer and delivers a lost
+    /// marker to the subscribers.
+    bool lost = false;
   };
   std::deque<Pending> pending;
   /// Handshake back to the sampler: the MCU holds the value on the PIO bus
@@ -105,6 +122,10 @@ class AppExecutor {
   }
   [[nodiscard]] int windows() const { return windows_; }
   void set_completion_line(hw::IrqLine line) { line_ = line; }
+  /// Attaches the hub's environment (nullptr = legacy always-on hub). Must
+  /// be called before the loops are spawned; the executor consults it for
+  /// lost-window gating only.
+  void set_environment(const env::HubEnvironment* environment) { env_ = environment; }
 
   /// CPU-side loop (all modes); spawn exactly once.
   [[nodiscard]] sim::Task<void> cpu_loop();
@@ -126,6 +147,15 @@ class AppExecutor {
 
   /// Runs the host kernel, fills the WindowRecord, returns the output.
   apps::WindowOutput run_kernel(int w);
+
+  /// True when the hub's environment marked window `w` lost (crash or
+  /// outage): the kernel, upload and QoS recording are skipped for it.
+  [[nodiscard]] bool window_is_lost(int w) const {
+    return env_ != nullptr && env_->window_lost(w);
+  }
+  /// Records a skipped window: the record survives (metric 0, lost marker)
+  /// but no QoS window is booked — availability, not latency, captures it.
+  void record_lost_window(int w);
 
   /// Executes `total` of kernel time in preemptible slices, so interrupt
   /// handling and other apps interleave with long computations the way an
@@ -149,6 +179,7 @@ class AppExecutor {
   trace::MipsCounter& mips_;
   hw::IrqLine line_ = 0;  // batched/offloaded completion line
   Tuning tuning_;
+  const env::HubEnvironment* env_ = nullptr;  // nullptr = legacy always-on hub
 
   std::vector<std::unique_ptr<WindowCollector>> collectors_;
   std::vector<WindowRecord> records_;

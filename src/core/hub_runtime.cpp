@@ -14,8 +14,16 @@ using sim::Duration;
 using sim::Task;
 
 HubRuntime::HubRuntime(sim::Simulator& sim, energy::EnergyAccountant& acct, Config cfg)
-    : sim_{sim}, cfg_{std::move(cfg)}, rng_{cfg_.seed} {
+    : sim_{sim}, acct_{acct}, cfg_{std::move(cfg)}, rng_{cfg_.seed} {
+  // The hub's components register contiguously from here — remember the
+  // slice so the environment supervisor can read this hub's ledger share.
+  comp_begin_ = acct.component_count();
   hub_ = std::make_unique<hw::IotHub>(sim_, acct, cfg_.spec, cfg_.component_scope);
+
+  if (cfg_.env) {
+    env_ = std::make_unique<env::HubEnvironment>(*cfg_.env, cfg_.seed, cfg_.windows,
+                                                 sim::Duration::sec(1));
+  }
 
   if (cfg_.medium != nullptr) {
     // Backoff RNGs come from the hub seed xor fixed per-NIC salts — NOT from
@@ -64,6 +72,7 @@ HubRuntime::HubRuntime(sim::Simulator& sim, energy::EnergyAccountant& acct, Conf
       }
     }
   }
+  comp_end_ = acct.component_count();
 }
 
 AppMode HubRuntime::mode_for(apps::AppId id, const OffloadPlan& plan) const {
@@ -120,22 +129,35 @@ void HubRuntime::start() {
   }
 
   // IRQ lines: one per per-sample stream, one per batched/offloaded app.
-  // Streams also get their fault model seeded here.
+  // Streams also get their fault model seeded here — one rng_.fork() per
+  // stream, in stream order: the legacy fork sequence, regardless of which
+  // fault model the fork feeds.
+  env::FaultProfileConfig fault_cfg;
+  if (env_) {
+    fault_cfg = env_->config().faults;
+  } else {
+    fault_cfg.fault_prob = cfg_.world.sensor_fault_prob;
+  }
   for (auto& st : streams_) {
-    st.fault_prob = cfg_.world.sensor_fault_prob;
-    st.fault_rng = rng_.fork();
+    st.fault = env::make_fault_profile(fault_cfg, rng_.fork());
     if (st.mode == AppMode::kPerSample) {
       st.line = hub_->irq().allocate_line("stream_" + st.sensor->spec().id);
     }
   }
   for (auto& exec : executors_) {
+    exec.set_environment(env_.get());
     if (exec.mode() != AppMode::kPerSample) {
       exec.set_completion_line(
           hub_->irq().allocate_line(std::string{apps::code_of(exec.id())} + "_done"));
     }
   }
 
-  // Spawn everything.
+  // Spawn everything. The environment supervisor goes first: at shared
+  // window-boundary timestamps it must run before the samplers, so the gate
+  // for the next window is decided before any sampler consults it.
+  if (env_ && env_->needs_supervisor()) {
+    sim_.spawn(env_supervisor());
+  }
   for (auto& st : streams_) {
     sim_.spawn(stream_sampler(&st));
     if (st.mode == AppMode::kPerSample) {
@@ -163,6 +185,16 @@ Task<void> HubRuntime::stream_sampler(SensorStream* st) {
         co_await hub_->mcu().wait(nominal - sim_.now(), hw::SleepPolicy::kLightSleep,
                                   Routine::kDataCollection);
       }
+      // Down-gate: while the hub is crashed/rebooting or browned out the
+      // driver never runs — no jitter record, no fault draw, no conversion,
+      // no MCU work. The slot still delivers a lost marker so the window
+      // barrier (and the per-sample IRQ count) stays intact.
+      if (env_ != nullptr && env_->window_lost(w)) {
+        env_->note_sample_lost_outage();
+        co_await deliver_lost(st, w);
+        continue;
+      }
+
       const Duration jitter = sim_.now() - nominal;
       for (AppExecutor* sub : st->subscribers) {
         qos_.record_sample_jitter(sub->id(), jitter);
@@ -171,14 +203,23 @@ Task<void> HubRuntime::stream_sampler(SensorStream* st) {
       // §II-B Task I: check sensor availability. A failed check aborts the
       // read ("the MCU stops reading and throws an error"); the driver
       // backs off briefly and retries. Bounded retries keep the sample
-      // count invariant — the final attempt always reads.
+      // count invariant — under the legacy iid model the final attempt
+      // always reads; correlated/degrading profiles lose the sample after
+      // three failed checks.
+      int failed = 0;
       for (int attempt = 0; attempt < 3; ++attempt) {
-        if (st->fault_prob <= 0.0 || !st->fault_rng.bernoulli(st->fault_prob)) break;
+        if (!st->fault->check_fails(sim_.now())) break;
+        ++failed;
         ++sensor_read_errors_;
         co_await hub_->mcu().execute(sim::Duration::from_us(40.0),
                                      Routine::kDataCollection);  // check + error path
         co_await hub_->mcu().wait(sim::Duration::from_us(200.0),
                                   hw::SleepPolicy::kBusyWait, Routine::kDataCollection);
+      }
+      if (failed == 3 && !st->fault->delivers_after_failed_retries()) {
+        if (env_ != nullptr) env_->note_sample_lost_fault();
+        co_await deliver_lost(st, w);
+        continue;
       }
 
       // §II-B's remaining tasks: check+convert inside the sensor (bus
@@ -238,6 +279,17 @@ Task<void> HubRuntime::stream_cpu_handler(SensorStream* st) {
     SensorStream::Pending p = std::move(st->pending.front());
     st->pending.pop_front();
 
+    if (p.lost) {
+      // Lost marker: no value is held on the bus — skip the transfer (the
+      // sampler is not in the handshake; notify_all is a safe no-op) and
+      // deliver loss markers to every subscriber.
+      st->transfer_done.notify_all();
+      for (AppExecutor* sub : st->subscribers) {
+        sub->collector(p.window).add_lost();
+      }
+      continue;
+    }
+
     const std::size_t bytes = p.sample.wire_bytes(sspec.sample_bytes);
     co_await hub_->transfer_to_cpu(bytes, Routine::kDataTransfer);
     owner->add_busy(Routine::kDataTransfer, hub_->spec().transfer_time(bytes));
@@ -254,6 +306,65 @@ Task<void> HubRuntime::stream_cpu_handler(SensorStream* st) {
   idle_pin.release();
 }
 
+Task<void> HubRuntime::deliver_lost(SensorStream* st, int w) {
+  if (st->mode == AppMode::kPerSample) {
+    // Keep the handler's fixed dispatch count: the IRQ still fires, but the
+    // marker carries no value, so the sampler skips the bus-hold handshake.
+    st->pending.push_back(SensorStream::Pending{sensors::Sample{}, w, /*lost=*/true});
+    co_await hub_->irq().raise(st->line);
+  } else {
+    st->subscribers.front()->collector(w).add_lost();
+  }
+}
+
+double HubRuntime::hub_joules() const {
+  double joules = 0.0;
+  for (std::size_t c = comp_begin_; c < comp_end_; ++c) {
+    joules += acct_.component_joules(c);
+  }
+  return joules;
+}
+
+Task<void> HubRuntime::env_supervisor() {
+  const Duration window = sim::Duration::sec(1);
+  for (int w = 0; w < cfg_.windows; ++w) {
+    const sim::SimTime begin = sim::SimTime::origin() + window * w;
+    const sim::SimTime end = begin + window;
+
+    if (const auto offset = env_->crash_at(w)) {
+      co_await sim::Delay{*offset};
+      // Whatever the MCU buffered for this window but has not flushed is
+      // gone (the batching scheme's exposure to crashes). The collectors
+      // themselves stay intact — the window is marked lost, so no kernel
+      // ever reads them — we only count the wiped samples.
+      std::uint64_t buffered = 0;
+      for (auto& exec : executors_) {
+        if (exec.mode() != AppMode::kPerSample) {
+          const auto& col = exec.collector(w);
+          buffered += static_cast<std::uint64_t>(col.received - col.lost);
+        }
+      }
+      env_->apply_crash(w, buffered);
+      if (end > sim_.now()) co_await sim::Delay{end - sim_.now()};
+    } else {
+      co_await sim::Delay{end - sim_.now()};
+    }
+
+    // Window boundary: bill the hub's ledger delta to the power source and
+    // decide the gate for the next window. The flush (which splits open
+    // power segments) only happens for finite sources — a mains hub's
+    // ledger must stay byte-identical to the legacy single-flush run.
+    double consumed = 0.0;
+    if (env_->power_limited()) {
+      hub_->flush_power();
+      const double joules = hub_joules();
+      consumed = joules - last_hub_joules_;
+      last_hub_joules_ = joules;
+    }
+    env_->end_of_window(w, begin, end, consumed);
+  }
+}
+
 HubResult HubRuntime::harvest(const energy::EnergyAccountant& acct, sim::Duration span) const {
   HubResult hr;
   hr.name = cfg_.name;
@@ -263,6 +374,7 @@ HubResult HubRuntime::harvest(const energy::EnergyAccountant& acct, sim::Duratio
   hr.interrupts_raised = hub_->irq().raised_count();
   hr.cpu_wakeups = hub_->cpu().wakeup_count();
   hr.sensor_read_errors = sensor_read_errors_;
+  hr.availability = availability();
   for (const hw::Nic* nic : {&hub_->main_nic(), &hub_->mcu_nic()}) {
     if (const net::AirtimeStats* stats = nic->airtime_stats()) {
       hr.airtime_wait += stats->airtime_wait;

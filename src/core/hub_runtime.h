@@ -21,6 +21,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,7 @@
 #include "core/offload_planner.h"
 #include "core/reports.h"
 #include "core/scenario.h"
+#include "env/hub_environment.h"
 
 namespace iotsim::net {
 class Medium;
@@ -56,6 +58,10 @@ class HubRuntime {
     /// runtime. Backoff RNG streams are derived from `seed` with fixed
     /// salts, independent of the hub's sensor/fault streams.
     net::Medium* medium = nullptr;
+    /// This hub's environment: fault profile, crash model, power source.
+    /// Unset ⇒ the legacy always-on hub (iid faults from `world`, mains
+    /// power) — numerically identical to the pre-environment runtime.
+    std::optional<env::EnvironmentConfig> env;
   };
 
   /// Builds the hub's hardware and app topology; registers every powered
@@ -85,19 +91,40 @@ class HubRuntime {
 
   [[nodiscard]] const std::string& name() const { return cfg_.name; }
   [[nodiscard]] hw::IotHub& hub() { return *hub_; }
+  /// Availability snapshot (default "always up" stats without an
+  /// environment). Valid after the sim drains; the runner sums these per
+  /// fleet for the report-level reassembly invariant.
+  [[nodiscard]] env::AvailabilityStats availability() const {
+    return env_ ? env_->availability() : env::AvailabilityStats{};
+  }
 
  private:
   [[nodiscard]] AppMode mode_for(apps::AppId id, const OffloadPlan& plan) const;
   [[nodiscard]] sim::Task<void> stream_sampler(SensorStream* stream);
   [[nodiscard]] sim::Task<void> stream_cpu_handler(SensorStream* stream);
+  /// Per-hub environment driver: crash draws at window starts, power-source
+  /// evaluation at window boundaries. Spawned first, and only when
+  /// env_->needs_supervisor().
+  [[nodiscard]] sim::Task<void> env_supervisor();
+  /// Joules this hub's components have booked so far (its contiguous slice
+  /// of the shared ledger).
+  [[nodiscard]] double hub_joules() const;
+  /// Delivers a lost-sample marker for window `w` down the stream's normal
+  /// delivery topology (IRQ handshake preserved in per-sample mode).
+  [[nodiscard]] sim::Task<void> deliver_lost(SensorStream* stream, int w);
 
   sim::Simulator& sim_;
+  energy::EnergyAccountant& acct_;
   Config cfg_;
   std::unique_ptr<hw::IotHub> hub_;
   sim::Rng rng_;
   QosChecker qos_;
   trace::MipsCounter mips_;
   OffloadPlan plan_;
+  std::unique_ptr<env::HubEnvironment> env_;  // nullptr on the legacy path
+  std::size_t comp_begin_ = 0;  // this hub's [begin, end) ledger slice
+  std::size_t comp_end_ = 0;
+  double last_hub_joules_ = 0.0;  // supervisor's window-delta baseline
   std::map<sensors::SensorId, std::unique_ptr<sensors::Sensor>> sensors_;
   std::map<sensors::SensorId, hw::Bus*> buses_;
   std::deque<SensorStream> streams_;

@@ -12,6 +12,7 @@
 #include "core/scenario.h"
 #include "core/scheme.h"
 #include "energy/energy_report.h"
+#include "env/hub_environment.h"
 #include "trace/power_trace.h"
 
 namespace iotsim::core {
@@ -62,6 +63,9 @@ struct HubResult {
   std::uint64_t interrupts_raised = 0;
   std::uint64_t cpu_wakeups = 0;
   std::uint64_t sensor_read_errors = 0;
+  /// Environment-layer outcome: uptime, reboots, sample losses, harvest and
+  /// billing (default "always up" when no environment was attached).
+  env::AvailabilityStats availability;
   /// Shared-uplink contention, summed over this hub's NICs (all zero when
   /// the scenario transmits into the ideal medium).
   sim::Duration airtime_wait;

@@ -86,6 +86,24 @@ Value notes_to_json(const std::map<apps::AppId, std::string>& notes) {
   return v;
 }
 
+Value availability_to_json(const env::AvailabilityStats& a) {
+  Value v;
+  v["modeled"] = Value{a.modeled};
+  v["power_limited"] = Value{a.power_limited};
+  v["uptime_fraction"] = Value{a.uptime_fraction};
+  v["reboots"] = Value{static_cast<double>(a.reboots)};
+  v["windows_lost"] = Value{static_cast<double>(a.windows_lost)};
+  v["samples_lost_faults"] = Value{static_cast<double>(a.samples_lost_faults)};
+  v["samples_lost_outage"] = Value{static_cast<double>(a.samples_lost_outage)};
+  v["samples_lost_crash"] = Value{static_cast<double>(a.samples_lost_crash)};
+  v["downtime_s"] = Value{a.downtime.to_seconds()};
+  v["harvested_j"] = Value{a.harvested_j};
+  v["billed_j"] = Value{a.billed_j};
+  v["stored_j"] = Value{a.stored_j};
+  v["energy_neutral_margin"] = Value{a.energy_neutral_margin()};
+  return v;
+}
+
 Value hub_to_json(const HubResult& h) {
   Value v;
   v["name"] = Value{h.name};
@@ -93,6 +111,7 @@ Value hub_to_json(const HubResult& h) {
   v["interrupts_raised"] = Value{static_cast<double>(h.interrupts_raised)};
   v["cpu_wakeups"] = Value{static_cast<double>(h.cpu_wakeups)};
   v["sensor_read_errors"] = Value{static_cast<double>(h.sensor_read_errors)};
+  v["availability"] = availability_to_json(h.availability);
   v["airtime_wait_ms"] = Value{h.airtime_wait.to_ms()};
   v["airtime_grants"] = Value{static_cast<double>(h.airtime_grants)};
   v["net_retries"] = Value{static_cast<double>(h.net_retries)};
@@ -154,6 +173,23 @@ Value to_json(const ScenarioResult& result) {
     Value kernel_v;
     kernel_v["events_dispatched"] = Value{static_cast<double>(k.events_dispatched)};
     v["kernel"] = std::move(kernel_v);
+  }
+
+  {
+    const energy::AvailabilitySummary& a = result.energy.availability();
+    Value avail_v;
+    avail_v["modeled"] = Value{a.modeled};
+    avail_v["hubs_modeled"] = Value{static_cast<double>(a.hubs_modeled)};
+    avail_v["reboots"] = Value{static_cast<double>(a.reboots)};
+    avail_v["windows_lost"] = Value{static_cast<double>(a.windows_lost)};
+    avail_v["samples_lost_faults"] = Value{static_cast<double>(a.samples_lost_faults)};
+    avail_v["samples_lost_outage"] = Value{static_cast<double>(a.samples_lost_outage)};
+    avail_v["samples_lost_crash"] = Value{static_cast<double>(a.samples_lost_crash)};
+    avail_v["downtime_s"] = Value{a.downtime.to_seconds()};
+    avail_v["harvested_j"] = Value{a.harvested_j};
+    avail_v["billed_j"] = Value{a.billed_j};
+    avail_v["energy_neutral_margin"] = Value{a.energy_neutral_margin()};
+    v["availability"] = std::move(avail_v);
   }
 
   Value hubs_v;

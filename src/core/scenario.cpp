@@ -22,11 +22,13 @@ std::size_t Scenario::fleet_size() const {
 }
 
 std::vector<ResolvedHub> Scenario::resolved_hubs() const {
+  const env::EnvironmentConfig* scenario_env = environment ? &*environment : nullptr;
   std::vector<ResolvedHub> resolved;
   if (!multi_hub()) {
     // Legacy desugaring: one hub, unscoped components, the scenario's own
     // RNG seed — numerically identical to the pre-fleet runner.
-    resolved.push_back(ResolvedHub{"hub0", "", &hub, &app_ids, &world, hub_seed(seed, 0)});
+    resolved.push_back(ResolvedHub{"hub0", "", &hub, &app_ids, &world, scenario_env,
+                                   hub_seed(seed, 0)});
     return resolved;
   }
   resolved.reserve(fleet_size());
@@ -36,6 +38,7 @@ std::vector<ResolvedHub> Scenario::resolved_hubs() const {
       const std::string name = "hub" + std::to_string(index);
       resolved.push_back(ResolvedHub{name, name, &inst.hub, &inst.app_ids,
                                      inst.world ? &*inst.world : &world,
+                                     inst.environment ? &*inst.environment : scenario_env,
                                      hub_seed(seed, index)});
     }
   }
@@ -67,6 +70,66 @@ void validate_fault_prob(double prob, const std::string& field,
   }
 }
 
+void validate_environment(const env::EnvironmentConfig& e, const std::string& prefix,
+                          std::vector<ScenarioError>& errors) {
+  const auto& f = e.faults;
+  validate_fault_prob(f.fault_prob, prefix + "faults.fault_prob", errors);
+  validate_fault_prob(f.burst_enter_prob, prefix + "faults.burst_enter_prob", errors);
+  validate_fault_prob(f.burst_exit_prob, prefix + "faults.burst_exit_prob", errors);
+  validate_fault_prob(f.good_fault_prob, prefix + "faults.good_fault_prob", errors);
+  validate_fault_prob(f.burst_fault_prob, prefix + "faults.burst_fault_prob", errors);
+  validate_fault_prob(f.degrade_cap, prefix + "faults.degrade_cap", errors);
+  if (f.degrade_per_hour < 0.0 || !std::isfinite(f.degrade_per_hour)) {
+    errors.push_back({prefix + "faults.degrade_per_hour",
+                      "must be a non-negative finite rate (got " +
+                          std::to_string(f.degrade_per_hour) + ")"});
+  }
+
+  validate_fault_prob(e.crash.crash_prob_per_window, prefix + "crash.crash_prob_per_window",
+                      errors);
+  if (e.crash.reboot_windows < 1) {
+    errors.push_back({prefix + "crash.reboot_windows",
+                      "must be >= 1 (got " + std::to_string(e.crash.reboot_windows) + ")"});
+  }
+
+  const auto& p = e.power;
+  if (p.model != env::PowerModel::kMains) {
+    if (!(p.battery_capacity_wh > 0.0) || !std::isfinite(p.battery_capacity_wh)) {
+      errors.push_back({prefix + "power.battery_capacity_wh",
+                        "must be a positive finite capacity (got " +
+                            std::to_string(p.battery_capacity_wh) + ")"});
+    }
+    if (!(p.battery_usable_fraction > 0.0) || p.battery_usable_fraction > 1.0) {
+      errors.push_back({prefix + "power.battery_usable_fraction",
+                        "must be in (0, 1] (got " +
+                            std::to_string(p.battery_usable_fraction) + ")"});
+    }
+    if (!(p.initial_soc > 0.0) || p.initial_soc > 1.0) {
+      errors.push_back({prefix + "power.initial_soc",
+                        "must be in (0, 1] (got " + std::to_string(p.initial_soc) + ")"});
+    }
+    validate_fault_prob(p.resume_soc, prefix + "power.resume_soc", errors);
+  }
+  const auto& h = p.harvest;
+  if (h.peak_w < 0.0 || !std::isfinite(h.peak_w)) {
+    errors.push_back({prefix + "power.harvest.peak_w",
+                      "must be a non-negative finite power (got " +
+                          std::to_string(h.peak_w) + ")"});
+  }
+  if (h.period_s < 0.0 || !std::isfinite(h.period_s)) {
+    errors.push_back({prefix + "power.harvest.period_s",
+                      "must be a non-negative finite period (got " +
+                          std::to_string(h.period_s) + ")"});
+  }
+  if (h.duty < 0.0 || h.duty > 1.0 || !std::isfinite(h.duty)) {
+    errors.push_back({prefix + "power.harvest.duty",
+                      "must be in [0, 1] (got " + std::to_string(h.duty) + ")"});
+  }
+  if (!std::isfinite(h.phase_s)) {
+    errors.push_back({prefix + "power.harvest.phase_s", "must be finite"});
+  }
+}
+
 }  // namespace
 
 std::vector<ScenarioError> Scenario::validate() const {
@@ -90,6 +153,9 @@ std::vector<ScenarioError> Scenario::validate() const {
         validate_fault_prob(inst.world->sensor_fault_prob,
                             prefix + "world.sensor_fault_prob", errors);
       }
+      if (inst.environment) {
+        validate_environment(*inst.environment, prefix + "environment.", errors);
+      }
     }
   } else {
     validate_app_list(app_ids, "app_ids", errors);
@@ -108,6 +174,7 @@ std::vector<ScenarioError> Scenario::validate() const {
                           std::to_string(mcu_speed_factor) + ")"});
   }
   validate_fault_prob(world.sensor_fault_prob, "world.sensor_fault_prob", errors);
+  if (environment) validate_environment(*environment, "environment.", errors);
 
   if (network) {
     if (!(network->bytes_per_second > 0.0) || !std::isfinite(network->bytes_per_second)) {

@@ -28,6 +28,7 @@
 
 #include "apps/workload_spec.h"
 #include "core/scheme.h"
+#include "env/environment.h"
 #include "hw/boards.h"
 #include "net/config.h"
 #include "sensors/sensor_catalog.h"
@@ -53,6 +54,9 @@ struct HubInstance {
   std::vector<apps::AppId> app_ids;
   /// Per-hub world override; unset ⇒ the scenario-level world applies.
   std::optional<sensors::WorldConfig> world;
+  /// Per-hub environment override (fault profile / crash model / power
+  /// source); unset ⇒ the scenario-level environment (or none) applies.
+  std::optional<env::EnvironmentConfig> environment;
   /// Identical hubs stamped from this template (each gets a derived seed).
   int count = 1;
 };
@@ -68,6 +72,9 @@ struct ResolvedHub {
   const hw::HubSpec* spec = nullptr;
   const std::vector<apps::AppId>* app_ids = nullptr;
   const sensors::WorldConfig* world = nullptr;
+  /// This hub's environment (per-hub override, else the scenario default);
+  /// nullptr ⇒ the legacy always-on, mains-powered, iid-fault world.
+  const env::EnvironmentConfig* environment = nullptr;
   /// Per-hub RNG stream: Scenario::seed for hub 0 (keeping single-hub runs
   /// numerically identical to the pre-fleet runner), an xor-derived stream
   /// for every further hub.
@@ -103,6 +110,13 @@ struct Scenario {
   /// net::SharedAccessPoint of this configuration; unset ⇒ net::IdealMedium
   /// (infinite capacity, byte-identical to the pre-network-layer model).
   std::optional<net::ApConfig> network;
+
+  /// Scenario-level environment default: fault profile, crash/reboot model
+  /// and power source applied to every hub that has no per-hub override.
+  /// Unset ⇒ the legacy always-on world (hubs on mains, faults governed by
+  /// sensors::WorldConfig::sensor_fault_prob). When set, its fault profile
+  /// *replaces* world.sensor_fault_prob for the hubs it covers.
+  std::optional<env::EnvironmentConfig> environment;
 
   /// Fleet mode: when non-empty, the scenario simulates this list of hubs
   /// (count-expanded) instead of the single legacy hub above, and the
@@ -184,6 +198,17 @@ class ScenarioBuilder {
   /// ideal infinite-capacity medium.
   ScenarioBuilder& network(net::ApConfig cfg) {
     sc_.network = cfg;
+    return *this;
+  }
+  /// Scenario-level environment default (see Scenario::environment).
+  ScenarioBuilder& environment(env::EnvironmentConfig cfg) {
+    sc_.environment = std::move(cfg);
+    return *this;
+  }
+  /// Environment override for the most recently added hub template (fleet
+  /// mode fluent shorthand; call directly after add_hub).
+  ScenarioBuilder& hub_environment(env::EnvironmentConfig cfg) {
+    sc_.hubs.back().environment = std::move(cfg);
     return *this;
   }
   ScenarioBuilder& record_power_trace(bool on = true) {

@@ -38,6 +38,7 @@ HubRuntime::Config hub_config(const Scenario& scenario, const ResolvedHub& rh,
   cfg.mcu_speed_factor = scenario.mcu_speed_factor;
   cfg.seed = rh.seed;
   cfg.medium = medium;
+  if (rh.environment != nullptr) cfg.env = *rh.environment;
   return cfg;
 }
 
@@ -48,6 +49,28 @@ struct HarvestEntry {
   const energy::EnergyAccountant* acct;
 };
 
+/// Fleet availability roll-up straight from the runtimes, in hub order —
+/// the totals harvest_fleet later re-derives from the HubResult sections
+/// and checks against (the environment-layer reassembly tripwire).
+energy::AvailabilitySummary availability_summary(const std::vector<HarvestEntry>& entries) {
+  energy::AvailabilitySummary a;
+  for (const HarvestEntry& e : entries) {
+    const env::AvailabilityStats st = e.hub->availability();
+    if (!st.modeled) continue;
+    a.modeled = true;
+    ++a.hubs_modeled;
+    a.reboots += st.reboots;
+    a.windows_lost += st.windows_lost;
+    a.samples_lost_faults += st.samples_lost_faults;
+    a.samples_lost_outage += st.samples_lost_outage;
+    a.samples_lost_crash += st.samples_lost_crash;
+    a.downtime += st.downtime;
+    a.harvested_j += st.harvested_j;
+    a.billed_j += st.billed_j;
+  }
+  return a;
+}
+
 /// The fleet-shape half of result assembly, identical for both execution
 /// paths: per-hub harvest in hub order, reassembly tripwires against the
 /// fleet totals already placed in `result.energy`, and the legacy flat-field
@@ -57,6 +80,7 @@ void harvest_fleet(ScenarioResult& result, const Scenario& scenario,
   result.qos_met = true;
   double hub_joules_sum = 0.0;
   net::AirtimeStats hub_stats_sum;
+  energy::AvailabilitySummary hub_avail_sum;
   for (const HarvestEntry& e : entries) {
     HubResult hr = e.hub->harvest(*e.acct, result.span);
     hub_joules_sum += hr.energy.total_joules();
@@ -64,6 +88,18 @@ void harvest_fleet(ScenarioResult& result, const Scenario& scenario,
     hub_stats_sum.grants += hr.airtime_grants;
     hub_stats_sum.retries += hr.net_retries;
     hub_stats_sum.drops += hr.net_drops;
+    if (hr.availability.modeled) {
+      hub_avail_sum.modeled = true;
+      ++hub_avail_sum.hubs_modeled;
+      hub_avail_sum.reboots += hr.availability.reboots;
+      hub_avail_sum.windows_lost += hr.availability.windows_lost;
+      hub_avail_sum.samples_lost_faults += hr.availability.samples_lost_faults;
+      hub_avail_sum.samples_lost_outage += hr.availability.samples_lost_outage;
+      hub_avail_sum.samples_lost_crash += hr.availability.samples_lost_crash;
+      hub_avail_sum.downtime += hr.availability.downtime;
+      hub_avail_sum.harvested_j += hr.availability.harvested_j;
+      hub_avail_sum.billed_j += hr.availability.billed_j;
+    }
     result.interrupts_raised += hr.interrupts_raised;
     result.cpu_wakeups += hr.cpu_wakeups;
     result.sensor_read_errors += hr.sensor_read_errors;
@@ -83,6 +119,33 @@ void harvest_fleet(ScenarioResult& result, const Scenario& scenario,
                     "per-hub net drops do not reassemble the fleet total");
     IOTSIM_CHECK_EQ(hub_stats_sum.airtime_wait.count_ns(), fleet.airtime_wait.count_ns(),
                     "per-hub airtime wait does not reassemble the fleet total");
+  }
+  // Per-hub availability stats were rolled up from the runtimes before
+  // harvesting; the HubResult sections must re-derive the same fleet totals
+  // — the tripwire for a hub harvested twice, skipped, or out of order.
+  {
+    const energy::AvailabilitySummary& fleet = result.energy.availability();
+    IOTSIM_CHECK_EQ(hub_avail_sum.hubs_modeled, fleet.hubs_modeled,
+                    "per-hub availability sections do not reassemble the fleet roll-up");
+    IOTSIM_CHECK_EQ(hub_avail_sum.reboots, fleet.reboots,
+                    "per-hub reboot counts do not reassemble the fleet total");
+    IOTSIM_CHECK_EQ(hub_avail_sum.windows_lost, fleet.windows_lost,
+                    "per-hub lost-window counts do not reassemble the fleet total");
+    IOTSIM_CHECK_EQ(hub_avail_sum.samples_lost_faults, fleet.samples_lost_faults,
+                    "per-hub fault-loss counts do not reassemble the fleet total");
+    IOTSIM_CHECK_EQ(hub_avail_sum.samples_lost_outage, fleet.samples_lost_outage,
+                    "per-hub outage-loss counts do not reassemble the fleet total");
+    IOTSIM_CHECK_EQ(hub_avail_sum.samples_lost_crash, fleet.samples_lost_crash,
+                    "per-hub crash-loss counts do not reassemble the fleet total");
+    IOTSIM_CHECK_EQ(hub_avail_sum.downtime.count_ns(), fleet.downtime.count_ns(),
+                    "per-hub outage time does not reassemble the fleet total");
+    const double etol = 1e-9 * (std::abs(fleet.harvested_j + fleet.billed_j) > 1.0
+                                    ? std::abs(fleet.harvested_j + fleet.billed_j)
+                                    : 1.0);
+    IOTSIM_CHECK_LE(std::abs(hub_avail_sum.harvested_j - fleet.harvested_j), etol,
+                    "per-hub harvested energy does not reassemble the fleet total");
+    IOTSIM_CHECK_LE(std::abs(hub_avail_sum.billed_j - fleet.billed_j), etol,
+                    "per-hub billed energy does not reassemble the fleet total");
   }
   // Fleet conservation: the hub-scoped slices partition the ledger(s), so
   // their totals must reassemble the fleet total exactly (modulo
@@ -230,6 +293,7 @@ ScenarioResult ScenarioRunner::run_single() {
   std::vector<HarvestEntry> entries;
   entries.reserve(hubs.size());
   for (const auto& hub : hubs) entries.push_back(HarvestEntry{&hub, &acct});
+  result.energy.set_availability(availability_summary(entries));
   harvest_fleet(result, scenario_, entries);
   return result;
 }
@@ -390,6 +454,7 @@ ScenarioResult ScenarioRunner::run_sharded(int shards, sim::Duration window) {
   for (const Shard& sh : fleet) {
     for (const HubRuntime& hub : sh.hubs) entries.push_back(HarvestEntry{&hub, &sh.acct});
   }
+  result.energy.set_availability(availability_summary(entries));
   harvest_fleet(result, scenario_, entries);
   return result;
 }

@@ -67,6 +67,28 @@ void append_world(ByteSink& s, const sensors::WorldConfig& w) {
   s.f64(w.sensor_fault_prob);
 }
 
+void append_environment(ByteSink& s, const env::EnvironmentConfig& e) {
+  s.u8(static_cast<std::uint8_t>(e.faults.model));
+  s.f64(e.faults.fault_prob);
+  s.f64(e.faults.burst_enter_prob);
+  s.f64(e.faults.burst_exit_prob);
+  s.f64(e.faults.good_fault_prob);
+  s.f64(e.faults.burst_fault_prob);
+  s.f64(e.faults.degrade_per_hour);
+  s.f64(e.faults.degrade_cap);
+  s.f64(e.crash.crash_prob_per_window);
+  s.i32(e.crash.reboot_windows);
+  s.u8(static_cast<std::uint8_t>(e.power.model));
+  s.f64(e.power.battery_capacity_wh);
+  s.f64(e.power.battery_usable_fraction);
+  s.f64(e.power.initial_soc);
+  s.f64(e.power.resume_soc);
+  s.f64(e.power.harvest.peak_w);
+  s.f64(e.power.harvest.period_s);
+  s.f64(e.power.harvest.duty);
+  s.f64(e.power.harvest.phase_s);
+}
+
 void append_hub_spec(ByteSink& s, const hw::HubSpec& h) {
   s.f64(h.cpu.active_w);
   s.f64(h.cpu.busy_w);
@@ -113,7 +135,7 @@ std::string scenario_key(const Scenario& sc) {
   // the note in core/scenario.h; tests/core/test_scenario_key.cpp mutates
   // every field). A version tag guards persisted keys against layout drift.
   ByteSink s;
-  s.u64(0x696F7453696D3033ull);  // "iotSim03"
+  s.u64(0x696F7453696D3034ull);  // "iotSim04": adds the environment layer
 
   append_app_list(s, sc.app_ids);
   s.u8(static_cast<std::uint8_t>(sc.scheme));
@@ -136,6 +158,10 @@ std::string scenario_key(const Scenario& sc) {
     s.i32(sc.network->max_backoff_exponent);
   }
 
+  // --- environment (scenario-level default) ---
+  s.u8(sc.environment.has_value() ? 1 : 0);
+  if (sc.environment) append_environment(s, *sc.environment);
+
   // --- fleet ---
   s.size(sc.hubs.size());
   for (const auto& inst : sc.hubs) {
@@ -143,6 +169,8 @@ std::string scenario_key(const Scenario& sc) {
     append_app_list(s, inst.app_ids);
     s.u8(inst.world.has_value() ? 1 : 0);
     if (inst.world) append_world(s, *inst.world);
+    s.u8(inst.environment.has_value() ? 1 : 0);
+    if (inst.environment) append_environment(s, *inst.environment);
     s.i32(inst.count);
   }
 

@@ -26,14 +26,30 @@ bool Battery::drain(double joules) {
   return !depleted();
 }
 
+double Battery::stored_joules() const { return std::max(0.0, usable_joules() - drained_j_); }
+
+double Battery::drain_clamped(double joules) {
+  IOTSIM_CHECK_GE(joules, 0.0, "cannot drain a negative amount (charge goes through recharge())");
+  const double drained = std::min(joules, stored_joules());
+  drained_j_ += drained;
+  return drained;
+}
+
+double Battery::recharge(double joules) {
+  IOTSIM_CHECK_GE(joules, 0.0, "cannot recharge a negative amount");
+  const double stored = std::min(joules, drained_j_);
+  drained_j_ -= stored;
+  return stored;
+}
+
 sim::Duration Battery::remaining_lifetime(double watts) const {
-  IOTSIM_CHECK_GT(watts, 0.0, "lifetime at non-positive draw is undefined");
+  if (watts <= 0.0) return sim::Duration::max();  // never depletes
   const double left = std::max(0.0, usable_joules() - drained_j_);
   return sim::Duration::from_seconds(left / watts);
 }
 
 sim::Duration Battery::lifetime(double watts) const {
-  IOTSIM_CHECK_GT(watts, 0.0, "lifetime at non-positive draw is undefined");
+  if (watts <= 0.0) return sim::Duration::max();  // never depletes
   return sim::Duration::from_seconds(usable_joules() / watts);
 }
 

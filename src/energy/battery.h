@@ -25,9 +25,23 @@ class Battery {
   bool drain(const EnergyReport& report) { return drain(report.total_joules()); }
   void recharge() { drained_j_ = 0.0; }
 
+  // --- online semantics (env::PowerSource drives these during a run) ---
+
+  /// Remaining stored usable energy right now.
+  [[nodiscard]] double stored_joules() const;
+  /// Drains at most the stored energy (the online floor: a browned-out hub
+  /// cannot pull charge that is not there). Returns the joules actually
+  /// drained.
+  double drain_clamped(double joules);
+  /// Partial recharge (harvesting): stores at most up to full usable
+  /// capacity. Returns the joules actually stored.
+  double recharge(double joules);
+
   /// How long the remaining usable energy lasts at a constant draw.
+  /// A non-positive draw never depletes the battery: Duration::max().
   [[nodiscard]] sim::Duration remaining_lifetime(double watts) const;
-  /// Full-charge lifetime at a constant draw.
+  /// Full-charge lifetime at a constant draw (Duration::max() at zero or
+  /// negative draw, as above).
   [[nodiscard]] sim::Duration lifetime(double watts) const;
   /// Full-charge lifetime at a scenario's average power.
   [[nodiscard]] sim::Duration lifetime(const EnergyReport& report) const {

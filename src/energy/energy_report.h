@@ -31,6 +31,29 @@ struct CongestionSummary {
   std::uint64_t drops = 0;    ///< bursts rejected (pending queue full)
 };
 
+/// Fleet-level roll-up of the environment layer's availability outcome
+/// (set by the scenario runner from per-hub env::AvailabilityStats; zeroed
+/// and unmodeled when no hub carries an EnvironmentConfig). The runner
+/// re-derives the same sums from the per-hub HubResult sections and
+/// IOTSIM_CHECKs they reassemble to these totals.
+struct AvailabilitySummary {
+  bool modeled = false;          ///< at least one hub has an environment
+  std::uint64_t hubs_modeled = 0;
+  std::uint64_t reboots = 0;
+  std::uint64_t windows_lost = 0;
+  std::uint64_t samples_lost_faults = 0;
+  std::uint64_t samples_lost_outage = 0;
+  std::uint64_t samples_lost_crash = 0;
+  sim::Duration downtime;        ///< summed over hubs
+  double harvested_j = 0.0;
+  double billed_j = 0.0;
+  /// Fleet energy-neutral-operation margin: harvested / billed (0 when
+  /// nothing was billed from a finite source).
+  [[nodiscard]] double energy_neutral_margin() const {
+    return billed_j > 0.0 ? harvested_j / billed_j : 0.0;
+  }
+};
+
 /// How the kernel executed a run (set by the scenario runner from
 /// Simulator::stats()). `events_dispatched` is deterministic — equal for a
 /// single-thread run and any sharding of it, since sharding partitions the
@@ -100,6 +123,11 @@ class EnergyReport {
   [[nodiscard]] const KernelSummary& kernel() const { return kernel_; }
   void set_kernel(KernelSummary k) { kernel_ = std::move(k); }
 
+  /// Environment-layer availability roll-up (fleet-level reports only;
+  /// per-hub slices leave it unmodeled).
+  [[nodiscard]] const AvailabilitySummary& availability() const { return availability_; }
+  void set_availability(const AvailabilitySummary& a) { availability_ = a; }
+
  private:
   /// Shared ledger-walk of from_accountant / from_accountants; its iteration
   /// order is the fleet float-summation contract.
@@ -112,6 +140,7 @@ class EnergyReport {
   sim::Duration elapsed_ = sim::Duration::zero();
   CongestionSummary congestion_;
   KernelSummary kernel_;
+  AvailabilitySummary availability_;
 };
 
 }  // namespace iotsim::energy

@@ -1,0 +1,41 @@
+#include "env/fault_profile.h"
+
+#include <algorithm>
+
+namespace iotsim::env {
+
+bool GilbertElliottFaultProfile::check_fails(sim::SimTime /*now*/) {
+  // Step the channel state first, then draw the per-state failure. Both
+  // draws happen unconditionally so the stream's consumption pattern does
+  // not depend on the state sequence.
+  if (burst_) {
+    if (rng_.bernoulli(cfg_.burst_exit_prob)) burst_ = false;
+  } else {
+    if (rng_.bernoulli(cfg_.burst_enter_prob)) burst_ = true;
+  }
+  const double p = burst_ ? cfg_.burst_fault_prob : cfg_.good_fault_prob;
+  return p > 0.0 && rng_.bernoulli(p);
+}
+
+double DegradingFaultProfile::fault_prob_at(sim::SimTime now) const {
+  const double hours = (now - sim::SimTime::origin()).to_seconds() / 3600.0;
+  const double p = cfg_.fault_prob + cfg_.degrade_per_hour * hours;
+  return std::clamp(p, 0.0, cfg_.degrade_cap);
+}
+
+bool DegradingFaultProfile::check_fails(sim::SimTime now) {
+  const double p = fault_prob_at(now);
+  return p > 0.0 && rng_.bernoulli(p);
+}
+
+std::unique_ptr<FaultProfile> make_fault_profile(const FaultProfileConfig& cfg, sim::Rng rng) {
+  switch (cfg.model) {
+    case FaultModel::kIid: return std::make_unique<IidFaultProfile>(cfg.fault_prob, rng);
+    case FaultModel::kGilbertElliott:
+      return std::make_unique<GilbertElliottFaultProfile>(cfg, rng);
+    case FaultModel::kDegrading: return std::make_unique<DegradingFaultProfile>(cfg, rng);
+  }
+  return std::make_unique<IidFaultProfile>(cfg.fault_prob, rng);
+}
+
+}  // namespace iotsim::env

@@ -1,0 +1,87 @@
+// env::FaultProfile — the query a sensor stream makes before every §II-B
+// Task-I availability check, replacing the old bare `fault_prob` +
+// `fault_rng.bernoulli` pair inside HubRuntime.
+//
+// Determinism contract: a profile owns its own sim::Rng (forked from the
+// hub RNG at exactly the position the legacy code forked the per-stream
+// fault RNG) and consumes it only inside check_fails(). The iid profile
+// reproduces the legacy draw sequence bit-for-bit, including the
+// short-circuit that draws nothing when the probability is zero.
+#pragma once
+
+#include <memory>
+
+#include "env/environment.h"
+#include "sim/random.h"
+#include "sim/sim_time.h"
+
+namespace iotsim::env {
+
+class FaultProfile {
+ public:
+  virtual ~FaultProfile() = default;
+
+  /// One availability check at simulated time `now`. True ⇒ the check
+  /// failed and the driver enters its retry/backoff path.
+  [[nodiscard]] virtual bool check_fails(sim::SimTime now) = 0;
+
+  /// After the driver's bounded retries all failed: does the final attempt
+  /// still produce a reading? The legacy iid model says yes (the sample
+  /// count invariant); the correlated/degrading models lose the sample.
+  [[nodiscard]] virtual bool delivers_after_failed_retries() const = 0;
+};
+
+/// Legacy-identical independent Bernoulli failures.
+class IidFaultProfile final : public FaultProfile {
+ public:
+  IidFaultProfile(double fault_prob, sim::Rng rng) : prob_{fault_prob}, rng_{rng} {}
+  [[nodiscard]] bool check_fails(sim::SimTime /*now*/) override {
+    // Exact legacy expression: no draw at all for a non-positive probability.
+    return prob_ > 0.0 && rng_.bernoulli(prob_);
+  }
+  [[nodiscard]] bool delivers_after_failed_retries() const override { return true; }
+
+ private:
+  double prob_;
+  sim::Rng rng_;
+};
+
+/// Gilbert-Elliott correlated bursts: a two-state Markov chain stepped once
+/// per check (retries inside a burst tend to stay in the burst — exactly
+/// the behaviour iid cannot model).
+class GilbertElliottFaultProfile final : public FaultProfile {
+ public:
+  GilbertElliottFaultProfile(const FaultProfileConfig& cfg, sim::Rng rng)
+      : cfg_{cfg}, rng_{rng} {}
+  [[nodiscard]] bool check_fails(sim::SimTime now) override;
+  [[nodiscard]] bool delivers_after_failed_retries() const override { return false; }
+  [[nodiscard]] bool in_burst() const { return burst_; }
+
+ private:
+  FaultProfileConfig cfg_;
+  sim::Rng rng_;
+  bool burst_ = false;
+};
+
+/// Monotonic sensor degradation: the failure probability climbs linearly
+/// with simulated time from `fault_prob` at t=0, capped at `degrade_cap`.
+class DegradingFaultProfile final : public FaultProfile {
+ public:
+  DegradingFaultProfile(const FaultProfileConfig& cfg, sim::Rng rng)
+      : cfg_{cfg}, rng_{rng} {}
+  [[nodiscard]] bool check_fails(sim::SimTime now) override;
+  [[nodiscard]] bool delivers_after_failed_retries() const override { return false; }
+  /// The instantaneous failure probability the model uses at `now`.
+  [[nodiscard]] double fault_prob_at(sim::SimTime now) const;
+
+ private:
+  FaultProfileConfig cfg_;
+  sim::Rng rng_;
+};
+
+/// Builds the profile `cfg` describes, seeded with `rng`. Always consumes
+/// exactly one fork from the caller's stream, whatever the model.
+[[nodiscard]] std::unique_ptr<FaultProfile> make_fault_profile(const FaultProfileConfig& cfg,
+                                                               sim::Rng rng);
+
+}  // namespace iotsim::env

@@ -1,0 +1,89 @@
+#include "env/power_source.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "check/check.h"
+
+namespace iotsim::env {
+
+namespace {
+
+/// Unlimited wall power: never depletes, never harvests.
+class MainsPower final : public PowerSource {
+ public:
+  [[nodiscard]] bool finite() const override { return false; }
+  PowerWindow end_of_window(sim::SimTime /*begin*/, sim::SimTime /*end*/,
+                            double /*consumed_j*/) override {
+    return PowerWindow{};
+  }
+  [[nodiscard]] double stored_joules() const override { return 0.0; }
+};
+
+/// Finite battery, optionally recharged by a harvesting trace. Availability
+/// carries hysteresis: once depleted, the hub stays suspended until the
+/// state of charge climbs back to `resume_soc`.
+class BatteryPower final : public PowerSource {
+ public:
+  explicit BatteryPower(const PowerConfig& cfg)
+      : cfg_{cfg}, battery_{cfg.battery_capacity_wh, cfg.battery_usable_fraction} {
+    // Start below full charge when configured (harvesting studies often do).
+    battery_.drain_clamped(battery_.usable_joules() * (1.0 - cfg_.initial_soc));
+  }
+
+  [[nodiscard]] bool finite() const override { return true; }
+
+  PowerWindow end_of_window(sim::SimTime begin, sim::SimTime end,
+                            double consumed_j) override {
+    PowerWindow w;
+    w.billed_j = battery_.drain_clamped(consumed_j);
+    if (cfg_.model == PowerModel::kHarvesting) {
+      w.harvested_j = battery_.recharge(harvested_joules(cfg_.harvest, begin, end));
+    }
+    if (suspended_) {
+      if (battery_.state_of_charge() >= cfg_.resume_soc) suspended_ = false;
+    } else if (battery_.depleted()) {
+      suspended_ = true;
+    }
+    w.available = !suspended_;
+    return w;
+  }
+
+  [[nodiscard]] double stored_joules() const override { return battery_.stored_joules(); }
+
+ private:
+  PowerConfig cfg_;
+  energy::Battery battery_;
+  bool suspended_ = false;
+};
+
+}  // namespace
+
+double harvested_joules(const HarvestTrace& trace, sim::SimTime begin, sim::SimTime end) {
+  if (trace.peak_w <= 0.0 || end <= begin) return 0.0;
+  const double t0 = (begin - sim::SimTime::origin()).to_seconds();
+  const double t1 = (end - sim::SimTime::origin()).to_seconds();
+  if (trace.period_s <= 0.0 || trace.duty >= 1.0) return trace.peak_w * (t1 - t0);
+  if (trace.duty <= 0.0) return 0.0;
+  // On-time of the square wave in [0, t): whole cycles plus the partial one.
+  const double period = trace.period_s;
+  const double on = trace.duty * period;
+  const auto on_within = [&](double t) {
+    const double u = t - trace.phase_s;
+    const double k = std::floor(u / period);
+    const double frac = u - k * period;  // in [0, period)
+    return k * on + std::min(frac, on);
+  };
+  return trace.peak_w * (on_within(t1) - on_within(t0));
+}
+
+std::unique_ptr<PowerSource> make_power_source(const PowerConfig& cfg) {
+  switch (cfg.model) {
+    case PowerModel::kMains: return std::make_unique<MainsPower>();
+    case PowerModel::kBattery:
+    case PowerModel::kHarvesting: return std::make_unique<BatteryPower>(cfg);
+  }
+  return std::make_unique<MainsPower>();
+}
+
+}  // namespace iotsim::env

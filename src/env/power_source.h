@@ -1,0 +1,49 @@
+// env::PowerSource — what feeds a hub. The default mains source is
+// unlimited (the paper's assumption); finite sources wrap energy::Battery
+// and are drained online from the hub's ledger slice, evaluated only at
+// window boundaries so sharded ExecPolicy runs stay byte-identical to
+// single-thread (the window barrier is the transition quantum).
+#pragma once
+
+#include <memory>
+
+#include "energy/battery.h"
+#include "env/environment.h"
+#include "sim/sim_time.h"
+
+namespace iotsim::env {
+
+/// Outcome of one window-boundary evaluation.
+struct PowerWindow {
+  bool available = true;    ///< may the hub run the next window?
+  double harvested_j = 0.0; ///< energy harvested during the evaluated window
+  double billed_j = 0.0;    ///< energy actually drawn from the source
+};
+
+class PowerSource {
+ public:
+  virtual ~PowerSource() = default;
+
+  /// True for sources that can deplete (battery/harvesting).
+  [[nodiscard]] virtual bool finite() const = 0;
+
+  /// Books the window [begin, end): bills `consumed_j` (the hub's ledger
+  /// delta; zero while the hub was down), accrues harvest, and decides
+  /// availability for the next window. Called exactly once per window, in
+  /// window order, by the hub's environment supervisor.
+  virtual PowerWindow end_of_window(sim::SimTime begin, sim::SimTime end,
+                                    double consumed_j) = 0;
+
+  /// Remaining stored energy (0 for mains — it has no store to run down).
+  [[nodiscard]] virtual double stored_joules() const = 0;
+};
+
+/// Joules the square-wave trace delivers over [begin, end). Closed form;
+/// exposed for tests and for the energy-neutral-margin arithmetic.
+[[nodiscard]] double harvested_joules(const HarvestTrace& trace, sim::SimTime begin,
+                                      sim::SimTime end);
+
+/// Builds the source `cfg` describes (mains / battery / battery+harvest).
+[[nodiscard]] std::unique_ptr<PowerSource> make_power_source(const PowerConfig& cfg);
+
+}  // namespace iotsim::env

@@ -133,6 +133,75 @@ std::vector<Mutation> world_mutations(std::function<sensors::WorldConfig&(Scenar
   };
 }
 
+/// Every field of an EnvironmentConfig reached through `pick`, each away
+/// from its default in the base scenario so no mutation restores a default.
+std::vector<Mutation> environment_mutations(
+    std::function<env::EnvironmentConfig&(Scenario&)> pick) {
+  auto on = [&pick](void (*f)(env::EnvironmentConfig&)) {
+    return [pick, f](Scenario& sc) { f(pick(sc)); };
+  };
+  return {
+      {"faults.model",
+       on([](env::EnvironmentConfig& e) { e.faults.model = env::FaultModel::kDegrading; })},
+      {"faults.fault_prob", on([](env::EnvironmentConfig& e) { e.faults.fault_prob += 0.01; })},
+      {"faults.burst_enter_prob",
+       on([](env::EnvironmentConfig& e) { e.faults.burst_enter_prob += 0.01; })},
+      {"faults.burst_exit_prob",
+       on([](env::EnvironmentConfig& e) { e.faults.burst_exit_prob += 0.05; })},
+      {"faults.good_fault_prob",
+       on([](env::EnvironmentConfig& e) { e.faults.good_fault_prob += 0.01; })},
+      {"faults.burst_fault_prob",
+       on([](env::EnvironmentConfig& e) { e.faults.burst_fault_prob -= 0.1; })},
+      {"faults.degrade_per_hour",
+       on([](env::EnvironmentConfig& e) { e.faults.degrade_per_hour += 0.02; })},
+      {"faults.degrade_cap", on([](env::EnvironmentConfig& e) { e.faults.degrade_cap -= 0.1; })},
+      {"crash.crash_prob_per_window",
+       on([](env::EnvironmentConfig& e) { e.crash.crash_prob_per_window += 0.01; })},
+      {"crash.reboot_windows",
+       on([](env::EnvironmentConfig& e) { e.crash.reboot_windows += 1; })},
+      {"power.model",
+       on([](env::EnvironmentConfig& e) { e.power.model = env::PowerModel::kBattery; })},
+      {"power.battery_capacity_wh",
+       on([](env::EnvironmentConfig& e) { e.power.battery_capacity_wh += 0.5; })},
+      {"power.battery_usable_fraction",
+       on([](env::EnvironmentConfig& e) { e.power.battery_usable_fraction -= 0.1; })},
+      {"power.initial_soc", on([](env::EnvironmentConfig& e) { e.power.initial_soc -= 0.1; })},
+      {"power.resume_soc", on([](env::EnvironmentConfig& e) { e.power.resume_soc += 0.05; })},
+      {"power.harvest.peak_w",
+       on([](env::EnvironmentConfig& e) { e.power.harvest.peak_w += 0.1; })},
+      {"power.harvest.period_s",
+       on([](env::EnvironmentConfig& e) { e.power.harvest.period_s += 1.0; })},
+      {"power.harvest.duty", on([](env::EnvironmentConfig& e) { e.power.harvest.duty -= 0.2; })},
+      {"power.harvest.phase_s",
+       on([](env::EnvironmentConfig& e) { e.power.harvest.phase_s += 0.5; })},
+  };
+}
+
+/// An environment with every optional knob away from its default.
+env::EnvironmentConfig rich_environment() {
+  env::EnvironmentConfig e;
+  e.faults.model = env::FaultModel::kGilbertElliott;
+  e.faults.fault_prob = 0.03;
+  e.faults.burst_enter_prob = 0.02;
+  e.faults.burst_exit_prob = 0.3;
+  e.faults.good_fault_prob = 0.01;
+  e.faults.burst_fault_prob = 0.8;
+  e.faults.degrade_per_hour = 0.05;
+  e.faults.degrade_cap = 0.4;
+  e.crash.crash_prob_per_window = 0.05;
+  e.crash.reboot_windows = 2;
+  e.power.model = env::PowerModel::kHarvesting;
+  e.power.battery_capacity_wh = 2.0;
+  e.power.battery_usable_fraction = 0.8;
+  e.power.initial_soc = 0.9;
+  e.power.resume_soc = 0.2;
+  e.power.harvest.peak_w = 0.5;
+  e.power.harvest.period_s = 10.0;
+  e.power.harvest.duty = 0.5;
+  e.power.harvest.phase_s = 1.0;
+  return e;
+}
+
 void expect_all_change_key(const Scenario& base, const std::vector<Mutation>& mutations,
                            const std::string& label) {
   const std::string base_key = scenario_key(base);
@@ -250,6 +319,28 @@ TEST(ScenarioKey, NetworkConfigFieldsAllFeedTheKey) {
        [](Scenario& sc) { sc.network->max_backoff_exponent += 1; }},
   };
   expect_all_change_key(networked_scenario(), mutations, "ApConfig");
+}
+
+TEST(ScenarioKey, ScenarioEnvironmentFieldsAllFeedTheKey) {
+  Scenario base = rich_scenario();
+  base.environment = rich_environment();
+  std::vector<Mutation> mutations = environment_mutations(
+      [](Scenario& sc) -> env::EnvironmentConfig& { return *sc.environment; });
+  mutations.push_back({"environment presence", [](Scenario& sc) { sc.environment.reset(); }});
+  expect_all_change_key(base, mutations, "Scenario environment");
+}
+
+TEST(ScenarioKey, HubInstanceEnvironmentFieldsAllFeedTheKey) {
+  Scenario base = fleet_scenario();
+  base.hubs[0].environment = rich_environment();
+  std::vector<Mutation> mutations = environment_mutations(
+      [](Scenario& sc) -> env::EnvironmentConfig& { return *sc.hubs[0].environment; });
+  mutations.push_back(
+      {"hubs[0].environment presence", [](Scenario& sc) { sc.hubs[0].environment.reset(); }});
+  mutations.push_back({"hubs[1].environment presence", [](Scenario& sc) {
+                         sc.hubs[1].environment = env::EnvironmentConfig{};
+                       }});
+  expect_all_change_key(base, mutations, "HubInstance environment");
 }
 
 TEST(ScenarioKey, LegacyAndEquivalentFleetScenarioKeysDiffer) {

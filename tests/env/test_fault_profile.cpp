@@ -1,0 +1,181 @@
+#include "env/fault_profile.h"
+
+#include <gtest/gtest.h>
+
+namespace iotsim::env {
+namespace {
+
+sim::SimTime at_ms(std::int64_t ms) { return sim::SimTime::origin() + sim::Duration::ms(ms); }
+
+// --- iid: the legacy-equivalence contract ---------------------------------
+
+// The iid profile must reproduce the pre-environment draw expression
+// `prob > 0 && rng.bernoulli(prob)` bit-for-bit on an identically seeded
+// stream — this is what keeps legacy scenarios byte-identical.
+TEST(IidFaultProfile, ReproducesLegacyDrawSequence) {
+  const double prob = 0.27;
+  sim::Rng hub_a{0xFEEDBEEFull};
+  sim::Rng hub_b{0xFEEDBEEFull};
+  IidFaultProfile profile{prob, hub_a.fork()};
+  sim::Rng legacy = hub_b.fork();
+  for (int i = 0; i < 2000; ++i) {
+    const bool expected = prob > 0.0 && legacy.bernoulli(prob);
+    EXPECT_EQ(profile.check_fails(at_ms(i)), expected) << "draw " << i;
+  }
+}
+
+TEST(IidFaultProfile, ZeroProbabilityNeverFails) {
+  sim::Rng rng{7};
+  IidFaultProfile profile{0.0, rng.fork()};
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(profile.check_fails(at_ms(i)));
+}
+
+TEST(IidFaultProfile, DeliversAfterFailedRetries) {
+  sim::Rng rng{7};
+  IidFaultProfile profile{0.5, rng.fork()};
+  // Legacy semantics: three failed checks still read the sensor in the end.
+  EXPECT_TRUE(profile.delivers_after_failed_retries());
+}
+
+// --- Gilbert-Elliott: correlated bursts -----------------------------------
+
+// The documented draw-consumption contract: one state-transition draw, then
+// one per-state failure draw, both unconditional (except the zero-probability
+// short-circuit on the failure draw), state stepped *before* the failure is
+// decided. A replica consuming the same stream must match exactly.
+TEST(GilbertElliottFaultProfile, MatchesReferenceChainExactly) {
+  FaultProfileConfig cfg;
+  cfg.model = FaultModel::kGilbertElliott;
+  cfg.burst_enter_prob = 0.08;
+  cfg.burst_exit_prob = 0.25;
+  cfg.good_fault_prob = 0.01;
+  cfg.burst_fault_prob = 0.85;
+
+  sim::Rng hub_a{42};
+  sim::Rng hub_b{42};
+  GilbertElliottFaultProfile profile{cfg, hub_a.fork()};
+  sim::Rng replica = hub_b.fork();
+  bool burst = false;
+  for (int i = 0; i < 4000; ++i) {
+    if (burst) {
+      if (replica.bernoulli(cfg.burst_exit_prob)) burst = false;
+    } else {
+      if (replica.bernoulli(cfg.burst_enter_prob)) burst = true;
+    }
+    const double p = burst ? cfg.burst_fault_prob : cfg.good_fault_prob;
+    const bool expected = p > 0.0 && replica.bernoulli(p);
+    EXPECT_EQ(profile.check_fails(at_ms(i)), expected) << "check " << i;
+    EXPECT_EQ(profile.in_burst(), burst) << "check " << i;
+  }
+}
+
+TEST(GilbertElliottFaultProfile, CertainBurstAlwaysFails) {
+  FaultProfileConfig cfg;
+  cfg.model = FaultModel::kGilbertElliott;
+  cfg.burst_enter_prob = 1.0;  // enter the burst on the very first check
+  cfg.burst_exit_prob = 0.0;   // and never leave it
+  cfg.good_fault_prob = 0.0;
+  cfg.burst_fault_prob = 1.0;
+  sim::Rng rng{3};
+  GilbertElliottFaultProfile profile{cfg, rng.fork()};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(profile.check_fails(at_ms(i)));
+    EXPECT_TRUE(profile.in_burst());
+  }
+}
+
+TEST(GilbertElliottFaultProfile, NeverEnteringTheBurstIsClean) {
+  FaultProfileConfig cfg;
+  cfg.model = FaultModel::kGilbertElliott;
+  cfg.burst_enter_prob = 0.0;
+  cfg.good_fault_prob = 0.0;
+  cfg.burst_fault_prob = 1.0;  // would fail — but the state is unreachable
+  sim::Rng rng{3};
+  GilbertElliottFaultProfile profile{cfg, rng.fork()};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(profile.check_fails(at_ms(i)));
+    EXPECT_FALSE(profile.in_burst());
+  }
+}
+
+TEST(GilbertElliottFaultProfile, LosesTheSampleAfterFailedRetries) {
+  FaultProfileConfig cfg;
+  cfg.model = FaultModel::kGilbertElliott;
+  sim::Rng rng{3};
+  GilbertElliottFaultProfile profile{cfg, rng.fork()};
+  EXPECT_FALSE(profile.delivers_after_failed_retries());
+}
+
+// --- degrading: time-dependent failure probability ------------------------
+
+TEST(DegradingFaultProfile, ProbabilityClimbsLinearlyAndCaps) {
+  FaultProfileConfig cfg;
+  cfg.model = FaultModel::kDegrading;
+  cfg.fault_prob = 0.1;
+  cfg.degrade_per_hour = 0.2;
+  cfg.degrade_cap = 0.5;
+  sim::Rng rng{5};
+  DegradingFaultProfile profile{cfg, rng.fork()};
+
+  EXPECT_DOUBLE_EQ(profile.fault_prob_at(sim::SimTime::origin()), 0.1);
+  EXPECT_DOUBLE_EQ(
+      profile.fault_prob_at(sim::SimTime::origin() + sim::Duration::sec(3600)), 0.3);
+  EXPECT_DOUBLE_EQ(
+      profile.fault_prob_at(sim::SimTime::origin() + sim::Duration::sec(2 * 3600)), 0.5);
+  // Past the cap the probability pins there instead of marching to 1.
+  EXPECT_DOUBLE_EQ(
+      profile.fault_prob_at(sim::SimTime::origin() + sim::Duration::sec(100 * 3600)), 0.5);
+  EXPECT_FALSE(profile.delivers_after_failed_retries());
+}
+
+TEST(DegradingFaultProfile, ZeroBaseAndRateNeverFails) {
+  FaultProfileConfig cfg;
+  cfg.model = FaultModel::kDegrading;
+  cfg.fault_prob = 0.0;
+  cfg.degrade_per_hour = 0.0;
+  sim::Rng rng{5};
+  DegradingFaultProfile profile{cfg, rng.fork()};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(profile.check_fails(at_ms(i * 100)));
+  }
+}
+
+TEST(DegradingFaultProfile, MatchesInstantaneousBernoulliSequence) {
+  FaultProfileConfig cfg;
+  cfg.model = FaultModel::kDegrading;
+  cfg.fault_prob = 0.05;
+  cfg.degrade_per_hour = 100.0;  // ramps fast enough to hit the cap in-test
+  cfg.degrade_cap = 0.4;
+  sim::Rng hub_a{11};
+  sim::Rng hub_b{11};
+  DegradingFaultProfile profile{cfg, hub_a.fork()};
+  sim::Rng replica = hub_b.fork();
+  for (int i = 0; i < 1000; ++i) {
+    const sim::SimTime now = at_ms(i * 50);
+    const double p = profile.fault_prob_at(now);
+    const bool expected = p > 0.0 && replica.bernoulli(p);
+    EXPECT_EQ(profile.check_fails(now), expected) << "check " << i;
+  }
+}
+
+// --- factory dispatch ------------------------------------------------------
+
+TEST(MakeFaultProfile, DispatchesOnModel) {
+  sim::Rng rng{1};
+  FaultProfileConfig cfg;
+
+  cfg.model = FaultModel::kIid;
+  auto iid = make_fault_profile(cfg, rng.fork());
+  EXPECT_NE(dynamic_cast<IidFaultProfile*>(iid.get()), nullptr);
+
+  cfg.model = FaultModel::kGilbertElliott;
+  auto ge = make_fault_profile(cfg, rng.fork());
+  EXPECT_NE(dynamic_cast<GilbertElliottFaultProfile*>(ge.get()), nullptr);
+
+  cfg.model = FaultModel::kDegrading;
+  auto deg = make_fault_profile(cfg, rng.fork());
+  EXPECT_NE(dynamic_cast<DegradingFaultProfile*>(deg.get()), nullptr);
+}
+
+}  // namespace
+}  // namespace iotsim::env

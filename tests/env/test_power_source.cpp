@@ -1,0 +1,200 @@
+#include "env/power_source.h"
+
+#include <gtest/gtest.h>
+
+namespace iotsim::env {
+namespace {
+
+sim::SimTime at_ms(std::int64_t ms) { return sim::SimTime::origin() + sim::Duration::ms(ms); }
+
+// --- harvested_joules: the square-wave closed form -------------------------
+
+TEST(HarvestedJoules, ConstantTraceWhenPeriodNonPositive) {
+  HarvestTrace trace;
+  trace.peak_w = 2.0;
+  trace.period_s = 0.0;  // no period ⇒ constant delivery at peak_w
+  EXPECT_DOUBLE_EQ(harvested_joules(trace, at_ms(0), at_ms(3000)), 6.0);
+}
+
+TEST(HarvestedJoules, FullDutyIsConstant) {
+  HarvestTrace trace;
+  trace.peak_w = 1.5;
+  trace.period_s = 10.0;
+  trace.duty = 1.0;
+  EXPECT_DOUBLE_EQ(harvested_joules(trace, at_ms(500), at_ms(2500)), 3.0);
+}
+
+TEST(HarvestedJoules, DegenerateTracesDeliverNothing) {
+  HarvestTrace trace;
+  trace.peak_w = 2.0;
+  trace.period_s = 10.0;
+  trace.duty = 0.0;
+  EXPECT_DOUBLE_EQ(harvested_joules(trace, at_ms(0), at_ms(10000)), 0.0);
+
+  trace.duty = 0.5;
+  trace.peak_w = 0.0;
+  EXPECT_DOUBLE_EQ(harvested_joules(trace, at_ms(0), at_ms(10000)), 0.0);
+
+  trace.peak_w = 2.0;
+  EXPECT_DOUBLE_EQ(harvested_joules(trace, at_ms(5000), at_ms(5000)), 0.0);
+  EXPECT_DOUBLE_EQ(harvested_joules(trace, at_ms(5000), at_ms(1000)), 0.0);
+}
+
+TEST(HarvestedJoules, WholeCyclesIntegrateDutyTimesPeak) {
+  HarvestTrace trace;
+  trace.peak_w = 2.0;
+  trace.period_s = 10.0;
+  trace.duty = 0.3;  // 3 s on per cycle ⇒ 6 J per cycle
+  EXPECT_DOUBLE_EQ(harvested_joules(trace, at_ms(0), at_ms(20000)), 12.0);
+}
+
+TEST(HarvestedJoules, PartialCycleClipsToOnTime) {
+  HarvestTrace trace;
+  trace.peak_w = 2.0;
+  trace.period_s = 10.0;
+  trace.duty = 0.3;  // on during [0, 3) of each cycle
+  EXPECT_DOUBLE_EQ(harvested_joules(trace, at_ms(0), at_ms(1000)), 2.0);
+  EXPECT_DOUBLE_EQ(harvested_joules(trace, at_ms(0), at_ms(5000)), 6.0);
+  // Entirely inside the off-phase: nothing arrives.
+  EXPECT_DOUBLE_EQ(harvested_joules(trace, at_ms(4000), at_ms(9000)), 0.0);
+}
+
+TEST(HarvestedJoules, PhaseShiftsTheOnWindow) {
+  HarvestTrace trace;
+  trace.peak_w = 2.0;
+  trace.period_s = 10.0;
+  trace.duty = 0.3;
+  trace.phase_s = 2.0;  // on during [2, 5) of each cycle
+  EXPECT_DOUBLE_EQ(harvested_joules(trace, at_ms(0), at_ms(2000)), 0.0);
+  EXPECT_DOUBLE_EQ(harvested_joules(trace, at_ms(2000), at_ms(5000)), 6.0);
+}
+
+// The supervisor evaluates the trace one window at a time; splitting an
+// interval at arbitrary boundaries must not change the total.
+TEST(HarvestedJoules, WindowedSumMatchesWholeInterval) {
+  HarvestTrace trace;
+  trace.peak_w = 1.5;
+  trace.period_s = 3.7;
+  trace.duty = 0.41;
+  trace.phase_s = 0.9;
+  const int windows = 20;
+  double sum = 0.0;
+  for (int w = 0; w < windows; ++w) {
+    sum += harvested_joules(trace, at_ms(w * 1000), at_ms((w + 1) * 1000));
+  }
+  EXPECT_NEAR(sum, harvested_joules(trace, at_ms(0), at_ms(windows * 1000)), 1e-9);
+}
+
+// --- MainsPower ------------------------------------------------------------
+
+TEST(MainsPower, UnlimitedAndFree) {
+  PowerConfig cfg;  // defaults to kMains
+  auto mains = make_power_source(cfg);
+  EXPECT_FALSE(mains->finite());
+  EXPECT_DOUBLE_EQ(mains->stored_joules(), 0.0);
+  const PowerWindow w = mains->end_of_window(at_ms(0), at_ms(1000), 123.0);
+  EXPECT_TRUE(w.available);
+  EXPECT_DOUBLE_EQ(w.billed_j, 0.0);
+  EXPECT_DOUBLE_EQ(w.harvested_j, 0.0);
+}
+
+// --- BatteryPower ----------------------------------------------------------
+
+PowerConfig small_battery(PowerModel model) {
+  PowerConfig cfg;
+  cfg.model = model;
+  cfg.battery_capacity_wh = 0.001;  // 3.6 J nameplate
+  cfg.battery_usable_fraction = 1.0;
+  cfg.initial_soc = 1.0;
+  cfg.resume_soc = 0.5;
+  return cfg;
+}
+
+TEST(BatteryPower, BillsTheLedgerDeltaUntilDepleted) {
+  auto battery = make_power_source(small_battery(PowerModel::kBattery));
+  EXPECT_TRUE(battery->finite());
+  EXPECT_DOUBLE_EQ(battery->stored_joules(), 3.6);
+
+  PowerWindow w = battery->end_of_window(at_ms(0), at_ms(1000), 1.0);
+  EXPECT_TRUE(w.available);
+  EXPECT_DOUBLE_EQ(w.billed_j, 1.0);
+  EXPECT_DOUBLE_EQ(battery->stored_joules(), 2.6);
+
+  // Over-draw bills only the stored remainder and suspends the hub.
+  w = battery->end_of_window(at_ms(1000), at_ms(2000), 5.0);
+  EXPECT_FALSE(w.available);
+  EXPECT_DOUBLE_EQ(w.billed_j, 2.6);
+  EXPECT_DOUBLE_EQ(battery->stored_joules(), 0.0);
+
+  // Without harvest the outage is permanent.
+  w = battery->end_of_window(at_ms(2000), at_ms(3000), 0.0);
+  EXPECT_FALSE(w.available);
+  EXPECT_DOUBLE_EQ(w.billed_j, 0.0);
+}
+
+TEST(BatteryPower, InitialSocPreDrainsTheStore) {
+  PowerConfig cfg = small_battery(PowerModel::kBattery);
+  cfg.initial_soc = 0.25;
+  auto battery = make_power_source(cfg);
+  EXPECT_DOUBLE_EQ(battery->stored_joules(), 0.9);
+}
+
+TEST(BatteryPower, UsableFractionLimitsTheStore) {
+  PowerConfig cfg = small_battery(PowerModel::kBattery);
+  cfg.battery_usable_fraction = 0.5;
+  auto battery = make_power_source(cfg);
+  EXPECT_DOUBLE_EQ(battery->stored_joules(), 1.8);
+}
+
+TEST(BatteryPower, PureBatteryIgnoresTheHarvestTrace) {
+  PowerConfig cfg = small_battery(PowerModel::kBattery);
+  cfg.harvest.peak_w = 100.0;  // configured but the model is kBattery
+  auto battery = make_power_source(cfg);
+  const PowerWindow w = battery->end_of_window(at_ms(0), at_ms(1000), 1.0);
+  EXPECT_DOUBLE_EQ(w.harvested_j, 0.0);
+  EXPECT_DOUBLE_EQ(battery->stored_joules(), 2.6);
+}
+
+TEST(BatteryPower, HarvestRechargesClampedToCapacity) {
+  PowerConfig cfg = small_battery(PowerModel::kHarvesting);
+  cfg.harvest.peak_w = 10.0;  // 10 J per 1 s window, far above the deficit
+  auto battery = make_power_source(cfg);
+  (void)battery->end_of_window(at_ms(0), at_ms(1000), 2.0);  // drain 2 J
+  // Only the 2 J deficit stores; harvested_j reports what actually charged.
+  EXPECT_DOUBLE_EQ(battery->stored_joules(), 3.6);
+  const PowerWindow w = battery->end_of_window(at_ms(1000), at_ms(2000), 0.0);
+  EXPECT_DOUBLE_EQ(w.harvested_j, 0.0);  // already full
+}
+
+TEST(BatteryPower, HysteresisHoldsUntilResumeSoc) {
+  PowerConfig cfg = small_battery(PowerModel::kHarvesting);
+  cfg.resume_soc = 0.5;       // 1.8 J of the 3.6 J store
+  cfg.harvest.peak_w = 1.0;   // 1 J per window while the sun is on
+  cfg.harvest.period_s = 10.0;
+  cfg.harvest.duty = 0.2;
+  cfg.harvest.phase_s = 2.0;  // on during [2, 4) of each cycle
+  auto battery = make_power_source(cfg);
+
+  // Window [0, 1): dark, over-draw empties the store ⇒ suspended.
+  PowerWindow w = battery->end_of_window(at_ms(0), at_ms(1000), 10.0);
+  EXPECT_FALSE(w.available);
+  EXPECT_DOUBLE_EQ(battery->stored_joules(), 0.0);
+
+  // Window [1, 2): still dark, still down.
+  w = battery->end_of_window(at_ms(1000), at_ms(2000), 0.0);
+  EXPECT_FALSE(w.available);
+
+  // Window [2, 3): 1 J harvested — state of charge 0.28, below resume_soc,
+  // so the hysteresis keeps the hub suspended (no flapping at the floor).
+  w = battery->end_of_window(at_ms(2000), at_ms(3000), 0.0);
+  EXPECT_DOUBLE_EQ(w.harvested_j, 1.0);
+  EXPECT_FALSE(w.available);
+
+  // Window [3, 4): another 1 J — 0.56 ≥ resume_soc, the hub comes back.
+  w = battery->end_of_window(at_ms(3000), at_ms(4000), 0.0);
+  EXPECT_DOUBLE_EQ(w.harvested_j, 1.0);
+  EXPECT_TRUE(w.available);
+}
+
+}  // namespace
+}  // namespace iotsim::env
