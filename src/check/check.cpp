@@ -20,6 +20,9 @@ void default_handler(const FailureInfo& info) {
 
 // Relaxed atomics are sufficient: the handler is installed before any
 // concurrent sweep starts (tests) or never changed at all (production).
+// NOLINTNEXTLINE(cppcoreguidelines-avoid-non-const-global-variables) — the
+// one process-wide mutable: an atomic, so race-free, and replay-neutral
+// (the handler only fires on contract violations, never on the hot path).
 std::atomic<Handler> g_handler{&default_handler};
 
 std::string describe(const FailureInfo& info) {

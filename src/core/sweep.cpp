@@ -197,6 +197,9 @@ std::vector<ScenarioResult> SweepRunner::run(const std::vector<Scenario>& scenar
   std::vector<std::shared_ptr<const ScenarioResult>> slots(n);
   std::vector<std::size_t> alias_of(n, kNone);  // duplicate → producing index
   std::unordered_map<std::string, std::size_t> producer;  // key → producing index
+  // Insertion-ordered view of `producer`: cache_ is populated from this so
+  // the fill order follows the input batch, not the hash-table layout.
+  std::vector<std::pair<std::string, std::size_t>> produced;
   std::vector<std::size_t> to_run;
   to_run.reserve(n);
 
@@ -222,7 +225,8 @@ std::vector<ScenarioResult> SweepRunner::run(const std::vector<Scenario>& scenar
       alias_of[i] = it->second;
       continue;
     }
-    producer.emplace(std::move(key), i);
+    producer.emplace(key, i);
+    produced.emplace_back(std::move(key), i);
     to_run.push_back(i);
   }
 
@@ -258,7 +262,7 @@ std::vector<ScenarioResult> SweepRunner::run(const std::vector<Scenario>& scenar
   }
 
   if (opts_.memoize) {
-    for (const auto& [key, idx] : producer) cache_.emplace(key, slots[idx]);
+    for (auto& [key, idx] : produced) cache_.emplace(std::move(key), slots[idx]);
     for (std::size_t i = 0; i < n; ++i) {
       if (alias_of[i] != kNone) slots[i] = slots[alias_of[i]];
     }

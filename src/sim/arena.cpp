@@ -8,6 +8,9 @@ namespace iotsim::sim {
 
 namespace {
 
+// NOLINTNEXTLINE(cppcoreguidelines-avoid-non-const-global-variables) —
+// per-worker by construction (thread_local): each shard thread binds its
+// own arena, so there is no cross-shard sharing to race on.
 thread_local Arena* tls_arena = nullptr;
 
 /// Prepended to every frame_allocate block. 16 bytes keeps the payload at

@@ -4,6 +4,7 @@ namespace iotsim::trace {
 
 void MipsCounter::add(const std::string& owner, std::uint64_t instructions) {
   counts_[owner] += instructions;
+  total_ += instructions;
 }
 
 std::uint64_t MipsCounter::instructions(const std::string& owner) const {
@@ -11,11 +12,7 @@ std::uint64_t MipsCounter::instructions(const std::string& owner) const {
   return it == counts_.end() ? 0 : it->second;
 }
 
-std::uint64_t MipsCounter::total_instructions() const {
-  std::uint64_t t = 0;
-  for (const auto& [_, n] : counts_) t += n;
-  return t;
-}
+std::uint64_t MipsCounter::total_instructions() const { return total_; }
 
 double MipsCounter::mips(const std::string& owner, sim::Duration window) const {
   const double secs = window.to_seconds();
@@ -23,6 +20,9 @@ double MipsCounter::mips(const std::string& owner, sim::Duration window) const {
   return static_cast<double>(instructions(owner)) / 1e6 / secs;
 }
 
-void MipsCounter::reset() { counts_.clear(); }
+void MipsCounter::reset() {
+  counts_.clear();
+  total_ = 0;
+}
 
 }  // namespace iotsim::trace

@@ -30,6 +30,7 @@ class MipsCounter {
 
  private:
   std::unordered_map<std::string, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;  // maintained by add(); avoids iterating counts_
 };
 
 }  // namespace iotsim::trace

@@ -1,0 +1,33 @@
+// Seeded coro-dangling-ref violations: aliases into frame-locals crossing
+// a suspension point, and a by-reference capture in a suspending lambda.
+#include <vector>
+
+#include "fixture_support.h"
+
+namespace fx {
+
+sim::Task pump() {
+  std::vector<int> samples = load();
+  const int& first = samples[0];  // reference into a local
+  auto it = samples.begin();      // iterator into a local
+  co_await tick();
+  use(first);  // VIOLATION: ref used across co_await
+  use(*it);    // VIOLATION: iterator used across co_await
+}
+
+sim::Task addr() {
+  int level = 3;
+  int* held = &level;  // pointer to a local
+  co_await tick();
+  use(*held);  // VIOLATION: pointer used across co_await
+}
+
+void spawn(int total) {
+  auto job = [&total]() -> sim::Task {  // VIOLATION: by-ref capture, body suspends
+    co_await tick();
+    use(total);
+  };
+  keep(job);
+}
+
+}  // namespace fx

@@ -1,0 +1,30 @@
+// Corrected forms of every coro_bad.cpp shape: the pass must stay silent.
+#include <vector>
+
+#include "fixture_support.h"
+
+namespace fx {
+
+sim::Task pump(Buffer& buf) {
+  std::vector<int> samples = load();
+  const int first = samples[0];   // copy, not a reference
+  const int& early = samples[1];  // alias used only before the suspension
+  use(early);
+  co_await tick();
+  use(first);
+  const int& late = samples[2];  // re-derived after resume
+  use(late);
+  const auto& spec = buf.spec();  // alias into a parameter: caller's lifetime
+  co_await tick();
+  use(spec);
+}
+
+void spawn(int total) {
+  auto job = [total]() -> sim::Task {  // by-value capture
+    co_await tick();
+    use(total);
+  };
+  keep(job);
+}
+
+}  // namespace fx

@@ -1,0 +1,22 @@
+#pragma once
+// Shared scaffolding so the analyze fixtures parse as plausible C++. The
+// analyzer is lexical — none of this is compiled — but keeping the
+// fixtures shaped like real code keeps the token patterns honest.
+#include <string>
+#include <vector>
+
+namespace sim {
+struct Task {};
+}  // namespace sim
+
+namespace fx {
+struct Buffer {
+  [[nodiscard]] const std::string& spec() const;
+};
+sim::Task tick();
+std::vector<int> load();
+void use(int);
+void use(const std::string&);
+template <typename T>
+void keep(const T&);
+}  // namespace fx

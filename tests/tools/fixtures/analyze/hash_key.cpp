@@ -1,0 +1,33 @@
+// Content-hash half of the hash-coverage fixture: scenario_key() covers
+// every Scenario/HubInstance field except fresh_knob. unrelated() below
+// *does* touch fresh_knob — the pass must not be fooled by mentions
+// outside scenario_key's call graph.
+#include <string>
+
+#include "hash_structs.h"
+
+namespace fx {
+
+struct Sink {
+  void add(double v);
+  std::string take();
+};
+
+void append_hub(Sink& s, const HubInstance& hi) {
+  s.add(hi.count);
+  s.add(hi.drift);
+}
+
+std::string scenario_key(const Scenario& sc) {
+  Sink s;
+  s.add(sc.windows);
+  s.add(sc.seed);
+  append_hub(s, sc.hub);
+  return s.take();
+}
+
+double unrelated(const Scenario& sc) {
+  return sc.fresh_knob * 2.0;  // mention outside the hash: must not mask
+}
+
+}  // namespace fx

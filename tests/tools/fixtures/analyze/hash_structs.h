@@ -1,0 +1,22 @@
+#pragma once
+// Miniature versions of the memoised scenario structs for the
+// hash-coverage fixture. `fresh_knob` is the seeded violation: it never
+// reaches scenario_key() in hash_key.cpp (although unrelated() mentions
+// it — reachability, not a file-wide grep, must decide).
+#include <string>
+
+namespace fx {
+
+struct HubInstance {
+  int count = 1;
+  double drift = 0.0;
+};
+
+struct Scenario {
+  int windows = 0;
+  int seed = 0;
+  double fresh_knob = 0.0;  // VIOLATION: missing from the content hash
+  HubInstance hub;
+};
+
+}  // namespace fx

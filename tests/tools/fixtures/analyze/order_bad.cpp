@@ -1,0 +1,43 @@
+// Seeded unordered-iteration and pointer-order violations.
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "order_registry.h"
+
+namespace fx {
+
+struct Node {
+  int id = 0;
+};
+
+double Registry::report() const {
+  double sum = 0.0;
+  for (const auto& [owner, joules] : joules_by_owner_) {  // VIOLATION: member
+    sum += joules;                                        // declared in the header
+  }
+  return sum;
+}
+
+int count_tags(const std::unordered_set<int>& tags) {
+  int n = 0;
+  for (const int tag : tags) {  // VIOLATION: parameter of unordered type
+    n += tag;
+  }
+  return n;
+}
+
+bool before(const std::shared_ptr<Node>& a, const std::shared_ptr<Node>& b) {
+  return a.get() < b.get();  // VIOLATION: compares heap addresses
+}
+
+using NodeRank = std::set<Node*, std::less<Node*>>;  // VIOLATION: orders by address
+
+void rank(std::vector<Node*>& pending) {
+  std::sort(pending.begin(), pending.end());  // VIOLATION: sorts raw pointers
+}
+
+}  // namespace fx

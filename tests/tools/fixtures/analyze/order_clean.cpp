@@ -1,0 +1,37 @@
+// Corrected forms of every order_bad.cpp shape: ordered snapshots and
+// stable keys — both passes must stay silent.
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "order_registry.h"
+
+namespace fx {
+
+struct Node {
+  int id = 0;
+};
+
+double Registry::report() const {
+  // Snapshot into an ordered container before folding.
+  const std::map<std::string, double> sorted(joules_by_owner_.begin(),
+                                             joules_by_owner_.end());
+  double sum = 0.0;
+  for (const auto& [owner, joules] : sorted) {
+    sum += joules;
+  }
+  return sum;
+}
+
+bool before(const std::shared_ptr<Node>& a, const std::shared_ptr<Node>& b) {
+  return a->id < b->id;  // compares content, not addresses
+}
+
+void rank(std::vector<Node>& nodes) {
+  std::sort(nodes.begin(), nodes.end(),
+            [](const Node& a, const Node& b) { return a.id < b.id; });
+}
+
+}  // namespace fx

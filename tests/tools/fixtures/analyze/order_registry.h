@@ -1,0 +1,19 @@
+#pragma once
+// Cross-file half of the unordered-iteration fixture: the container is
+// *declared* here and iterated in order_bad.cpp — detecting that requires
+// the pass's tree-wide finish() join, not per-file matching.
+#include <string>
+#include <unordered_map>
+
+namespace fx {
+
+class Registry {
+ public:
+  void record(const std::string& owner, double joules);
+  [[nodiscard]] double report() const;
+
+ private:
+  std::unordered_map<std::string, double> joules_by_owner_;
+};
+
+}  // namespace fx

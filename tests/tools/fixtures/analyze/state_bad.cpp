@@ -1,0 +1,26 @@
+// Seeded shared-mutable-static violations: every scope a mutable static
+// can hide in — namespace scope, anonymous namespace, function-local,
+// static data member.
+#include <string>
+
+#include "fixture_support.h"
+
+namespace fx {
+
+int g_window_count = 0;  // VIOLATION: mutable global
+
+namespace {
+std::string g_last_label;  // VIOLATION: mutable global in anonymous namespace
+}  // namespace
+
+struct Telemetry {
+  static int live_hubs;  // VIOLATION: static data member
+  int per_instance = 0;  // fine: per-object state
+};
+
+int bump() {
+  static int calls = 0;  // VIOLATION: function-local static cache
+  return ++calls;
+}
+
+}  // namespace fx

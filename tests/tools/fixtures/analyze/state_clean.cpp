@@ -1,0 +1,30 @@
+// Corrected forms of every state_bad.cpp shape: const, constexpr,
+// synchronized, per-thread, or plain locals — the pass must stay silent.
+#include <atomic>
+#include <mutex>
+#include <string>
+
+#include "fixture_support.h"
+
+namespace fx {
+
+constexpr int kWindowBudget = 16;
+const std::string kDefaultLabel = "idle";
+std::atomic<int> g_live_hubs{0};  // synchronized: race-free by construction
+thread_local int tls_depth = 0;   // per-thread, not shared
+extern int g_declared_elsewhere;  // declaration only, not a definition
+
+struct Telemetry {
+  static constexpr int kMaxHubs = 64;
+  int per_instance = 0;
+};
+
+int bump(int calls) {
+  static const int kStep = 2;  // immutable static: fine
+  std::mutex guard;            // plain local, not static
+  int local_count = 0;
+  (void)guard;
+  return calls + local_count + kStep;
+}
+
+}  // namespace fx

@@ -1,0 +1,104 @@
+// iotsim_analyze — multi-pass semantic static analyzer for the simulator.
+//
+// The repo's headline guarantee is bit-reproducible energy accounting, and
+// the hazards that would silently break it are structural, not stylistic:
+// a reference held across a coroutine suspension into a recycled arena
+// frame, mutable static state shared by ExecPolicy shard workers, output
+// fed from unordered-container iteration order, comparisons on pointer
+// values, a Scenario field missing from the sweep memo's content hash.
+// None of those fail a test until they corrupt a result. This tool checks
+// them at the source level, on every ctest run.
+//
+// Architecture: lint::mask_comments_and_strings (the PR-3 lexical layer)
+// feeds a tokenizer and brace-scope map (analyze/syntax.h); registered
+// passes walk those per file and may keep cross-file state, resolved in a
+// finish() step (unordered-iteration joins declarations in headers with
+// loops in .cpp files; hash-coverage joins struct definitions with
+// scenario_key()). The legacy 7 lint rules run as the first registered
+// pass, so one binary, one allowlist config and one ctest gate
+// (analyze.tree_clean) cover the whole catalogue.
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analyze/syntax.h"
+#include "lint/lint.h"
+
+namespace iotsim::analyze {
+
+using lint::Config;
+using lint::Finding;
+
+/// New semantic rule identifiers (the legacy lexical ones live in lint.h).
+inline constexpr std::string_view kRuleCoroDanglingRef = "coro-dangling-ref";
+inline constexpr std::string_view kRuleSharedMutableStatic = "shared-mutable-static";
+inline constexpr std::string_view kRuleUnorderedIteration = "unordered-iteration";
+inline constexpr std::string_view kRulePointerOrder = "pointer-order";
+inline constexpr std::string_view kRuleHashCoverage = "hash-coverage";
+
+/// One catalogue entry: a stable rule id plus the one-line summary shown by
+/// --list-rules (and mirrored in tools/iotsim_lint.conf's header, which a
+/// test keeps in sync).
+struct RuleDoc {
+  std::string_view id;
+  std::string_view summary;
+};
+
+/// One source file, lexed once and shared by every pass.
+struct FileUnit {
+  std::string display_path;
+  std::string content;  // raw bytes
+  std::string masked;   // comments/literals blanked (lint layer)
+  std::vector<Token> tokens;
+  ScopeMap scopes;
+  bool is_header = false;
+};
+
+[[nodiscard]] FileUnit make_unit(std::string display_path, std::string content);
+
+/// A registered analysis pass. Passes may keep state across scan() calls
+/// (cross-file rules) and emit their verdict in finish().
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  /// Stable pass name (for semantic passes this equals the rule id).
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  /// The rules this pass can emit, in catalogue order.
+  [[nodiscard]] virtual std::span<const RuleDoc> rules() const = 0;
+  virtual void scan(const FileUnit& file, std::vector<Finding>& out) = 0;
+  virtual void finish(std::vector<Finding>& /*out*/) {}
+};
+
+/// Fresh pass instances in registration order (passes are stateful, so a
+/// new set is built per analysis run).
+[[nodiscard]] std::vector<std::unique_ptr<Pass>> make_passes();
+
+/// The full rule catalogue (legacy lexical + semantic), in documented order.
+[[nodiscard]] std::vector<RuleDoc> rule_catalogue();
+[[nodiscard]] std::vector<std::string_view> all_rule_ids();
+
+/// Runs every pass (optionally restricted to `only_rules`) over pre-built
+/// units; applies the allowlist; findings sorted by (file, line, rule).
+[[nodiscard]] std::vector<Finding> analyze_units(const std::vector<FileUnit>& units,
+                                                 const Config& cfg,
+                                                 std::span<const std::string> only_rules = {});
+
+/// Loads files/directories (same traversal rules as lint::collect_source_files)
+/// and analyzes them.
+[[nodiscard]] std::vector<Finding> analyze_paths(const std::vector<std::filesystem::path>& paths,
+                                                 const Config& cfg,
+                                                 std::span<const std::string> only_rules = {});
+
+/// Machine-readable findings: a JSON array of {file, line, rule, detail}
+/// objects, one per line, stable ordering — CI diffs it across runs.
+[[nodiscard]] std::string to_json(const std::vector<Finding>& findings);
+
+/// The --list-rules text: "<id><padding><summary>\n" per catalogue entry.
+[[nodiscard]] std::string list_rules_text();
+
+}  // namespace iotsim::analyze

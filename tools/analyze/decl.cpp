@@ -1,0 +1,141 @@
+#include "analyze/decl.h"
+
+#include <algorithm>
+
+namespace iotsim::analyze {
+
+namespace {
+
+constexpr std::string_view kStatementKeywords[] = {
+    "if",      "else",    "for",       "while",   "do",       "switch",  "case",
+    "default", "return",  "co_return", "co_await", "co_yield", "break",   "continue",
+    "goto",    "using",   "typedef",   "template", "friend",   "public",  "private",
+    "protected", "throw", "delete",    "new",      "try",      "catch",   "namespace",
+    "struct",  "class",   "union",     "enum",     "extern",   "asm",     "operator",
+    "static_assert", "sizeof", "requires", "concept",
+};
+
+bool is_statement_keyword(std::string_view s) {
+  return std::find(std::begin(kStatementKeywords), std::end(kStatementKeywords), s) !=
+         std::end(kStatementKeywords);
+}
+
+}  // namespace
+
+std::vector<Statement> statements_of_scope(const FileUnit& unit, int block) {
+  std::vector<Statement> out;
+  Statement current;
+  int paren = 0;
+  std::size_t prev_index = static_cast<std::size_t>(-1);
+  const auto flush = [&] {
+    if (!current.toks.empty()) out.push_back(std::move(current));
+    current = Statement{};
+  };
+  for (std::size_t i = 0; i < unit.tokens.size(); ++i) {
+    if (unit.scopes.block_of[i] != block) continue;
+    const Token& t = unit.tokens[i];
+    if (is_punct(t, "{") || is_punct(t, "}")) continue;  // scope delimiters
+    // A gap in token indices means a nested block sat between: terminate
+    // the statement there (its head is complete — brace init or body).
+    if (prev_index != static_cast<std::size_t>(-1) && i != prev_index + 1) flush();
+    prev_index = i;
+    if (is_punct(t, "(")) ++paren;
+    if (is_punct(t, ")")) paren = std::max(0, paren - 1);
+    if (is_punct(t, ";") && paren == 0) {
+      flush();
+      continue;
+    }
+    if (is_punct(t, ":") && paren == 0 && current.toks.size() == 1 &&
+        unit.tokens[current.toks.front()].kind == TokenKind::kIdent) {
+      // Access specifier or label ("public:", "done:"): drop it.
+      current = Statement{};
+      continue;
+    }
+    current.toks.push_back(i);
+  }
+  flush();
+  return out;
+}
+
+std::optional<VarDecl> parse_var_decl(const FileUnit& unit, const Statement& stmt) {
+  if (stmt.toks.empty()) return std::nullopt;
+  const auto& T = unit.tokens;
+  const Token& first = T[stmt.toks.front()];
+  if (first.kind != TokenKind::kIdent) return std::nullopt;
+  if (is_statement_keyword(first.text)) return std::nullopt;
+
+  VarDecl d;
+  // Split at the first top-level '='; everything before is the head.
+  int angle = 0;
+  int paren = 0;
+  int bracket = 0;
+  std::size_t split = stmt.toks.size();
+  for (std::size_t k = 0; k < stmt.toks.size(); ++k) {
+    const Token& t = T[stmt.toks[k]];
+    if (t.kind != TokenKind::kPunct) continue;
+    if (t.text == "<") ++angle;
+    else if (t.text == ">") angle = std::max(0, angle - 1);
+    else if (t.text == ">>") angle = std::max(0, angle - 2);
+    else if (t.text == "(") ++paren;
+    else if (t.text == ")") paren = std::max(0, paren - 1);
+    else if (t.text == "[") ++bracket;
+    else if (t.text == "]") bracket = std::max(0, bracket - 1);
+    else if (t.text == "=" && angle == 0 && paren == 0 && bracket == 0) {
+      split = k;
+      break;
+    }
+  }
+  for (std::size_t k = 0; k < split; ++k) d.head.push_back(stmt.toks[k]);
+  for (std::size_t k = split + 1; k < stmt.toks.size(); ++k) d.init.push_back(stmt.toks[k]);
+
+  // A head with parens is a function (declaration or call), a head with
+  // member access is an assignment target — neither declares a variable.
+  for (const std::size_t idx : d.head) {
+    if (T[idx].kind != TokenKind::kPunct) continue;
+    const std::string_view p = T[idx].text;
+    if (p == "(" || p == ")" || p == "." || p == "->") return std::nullopt;
+  }
+
+  // Declared name: the last identifier at template/bracket depth 0.
+  angle = bracket = 0;
+  std::size_t name_idx = static_cast<std::size_t>(-1);
+  for (const std::size_t idx : d.head) {
+    const Token& t = T[idx];
+    if (t.kind == TokenKind::kPunct) {
+      if (t.text == "<") ++angle;
+      else if (t.text == ">") angle = std::max(0, angle - 1);
+      else if (t.text == ">>") angle = std::max(0, angle - 2);
+      else if (t.text == "[") ++bracket;
+      else if (t.text == "]") bracket = std::max(0, bracket - 1);
+      continue;
+    }
+    if (t.kind == TokenKind::kIdent && angle == 0 && bracket == 0) name_idx = idx;
+  }
+  if (name_idx == static_cast<std::size_t>(-1)) return std::nullopt;
+  // `x;` or `x[i]` alone is an expression, not a declaration: require a
+  // type token before the name.
+  if (name_idx == d.head.front()) return std::nullopt;
+  // A name reached through :: is qualified (out-of-line definition or
+  // explicit instantiation), never a fresh local.
+  for (std::size_t k = 1; k < d.head.size(); ++k) {
+    if (d.head[k] == name_idx && is_punct(T[d.head[k - 1]], "::")) return std::nullopt;
+  }
+
+  d.name_tok = name_idx;
+  d.name = T[name_idx].text;
+  for (std::size_t k = 1; k < d.head.size(); ++k) {
+    if (d.head[k] != name_idx) continue;
+    const Token& before = T[d.head[k - 1]];
+    d.is_ref = is_punct(before, "&") || is_punct(before, "&&");
+    d.is_ptr = is_punct(before, "*");
+  }
+  return d;
+}
+
+bool head_contains(const FileUnit& unit, const VarDecl& decl, std::string_view word) {
+  return std::any_of(decl.head.begin(), decl.head.end(), [&](std::size_t idx) {
+    return is_ident(unit.tokens[idx], word);
+  });
+}
+
+}  // namespace iotsim::analyze

@@ -1,0 +1,98 @@
+// iotsim_analyze CLI: run the pass framework, print findings, exit
+// non-zero when dirty.
+//
+//   iotsim_analyze [--config=FILE] [--json] [--list-rules]
+//                  [--rules=a,b,c] PATH...
+//
+// Registered as the tier-1 ctest `analyze.tree_clean` over src/, so a
+// determinism hazard fails the build's test stage, not a replay session.
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analyze/analyze.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--config=FILE] [--json] [--rules=a,b,c] PATH...\n"
+               "       %s --list-rules\n",
+               argv0, argv0);
+  return 2;
+}
+
+std::vector<std::string> split_rules(std::string_view csv) {
+  std::vector<std::string> out;
+  while (!csv.empty()) {
+    const std::size_t comma = csv.find(',');
+    const std::string_view item = csv.substr(0, comma);
+    if (!item.empty()) out.emplace_back(item);
+    if (comma == std::string_view::npos) break;
+    csv.remove_prefix(comma + 1);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace analyze = iotsim::analyze;
+  std::vector<std::filesystem::path> paths;
+  std::vector<std::string> only_rules;
+  analyze::Config cfg;
+  bool json = false;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg{argv[i]};
+      if (arg == "--list-rules") {
+        std::fputs(analyze::list_rules_text().c_str(), stdout);
+        return 0;
+      } else if (arg.starts_with("--config=")) {
+        cfg = iotsim::lint::load_config(std::filesystem::path{std::string{arg.substr(9)}},
+                                        analyze::all_rule_ids());
+      } else if (arg.starts_with("--rules=")) {
+        only_rules = split_rules(arg.substr(8));
+        const auto known = analyze::all_rule_ids();
+        for (const std::string& r : only_rules) {
+          if (std::find(known.begin(), known.end(), r) == known.end()) {
+            std::fprintf(stderr, "unknown rule: %s (see --list-rules)\n", r.c_str());
+            return 2;
+          }
+        }
+      } else if (arg == "--json") {
+        json = true;
+      } else if (arg == "--help" || arg == "-h") {
+        return usage(argv[0]);
+      } else if (arg.starts_with("--")) {
+        std::fprintf(stderr, "unknown flag: %s\n", std::string{arg}.c_str());
+        return usage(argv[0]);
+      } else {
+        paths.emplace_back(std::string{arg});
+      }
+    }
+    if (paths.empty()) return usage(argv[0]);
+
+    const std::vector<analyze::Finding> findings =
+        analyze::analyze_paths(paths, cfg, only_rules);
+    if (json) {
+      std::fputs(analyze::to_json(findings).c_str(), stdout);
+    } else {
+      for (const auto& f : findings) {
+        std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                    f.detail.c_str());
+      }
+    }
+    if (!findings.empty()) {
+      std::fprintf(stderr, "iotsim_analyze: %zu finding(s)\n", findings.size());
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "iotsim_analyze: %s\n", e.what());
+    return 2;
+  }
+}

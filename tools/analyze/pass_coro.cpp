@@ -1,0 +1,208 @@
+// coro-dangling-ref: references that outlive a coroutine suspension.
+//
+// sim::Task frames are arena-pooled (sim/arena.h): when a coroutine
+// suspends at co_await, its frame can be recycled, relocated or torn down
+// by a cancelled generation before resume. Two shapes break under that
+// model:
+//
+//  1. a reference, pointer or iterator derived from a frame-local value
+//     and *used after a later co_await/co_yield* — the alias points into
+//     memory whose lifetime is no longer tied to the using statement;
+//  2. a lambda that captures by reference and contains a suspension point
+//     — the capture block outlives the enclosing scope by construction.
+//
+// The rule is deliberately narrow to stay quiet on the dominant safe
+// pattern: aliases into *parameters* (e.g. `st->sensor->spec()` where `st`
+// is a coroutine argument kept alive by the caller) are not flagged; only
+// aliases whose base identifier is a local value declared inside the same
+// coroutine body count. Known blind spot: range-for references
+// (`for (auto& x : local_vec)`) spanning a suspension are not matched —
+// the declaration lives in the for-header, not a plain statement.
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/decl.h"
+#include "analyze/passes.h"
+
+namespace iotsim::analyze {
+
+namespace {
+
+constexpr std::string_view kIteratorAccessors[] = {
+    "begin", "end",  "cbegin", "cend",  "rbegin",     "rend",        "crbegin",
+    "crend", "find", "data",   "c_str", "lower_bound", "upper_bound", "equal_range"};
+
+bool is_suspension(const Token& t) {
+  return is_ident(t, "co_await") || is_ident(t, "co_yield");
+}
+
+/// Base identifier of an alias initializer: the first identifier that is
+/// not a `::`-qualifier prefix. A call (`ident (`) makes the result a
+/// fresh temporary, so scanning stops there — except through
+/// std::move/std::forward, which forward the underlying object.
+std::string_view alias_base(const FileUnit& unit, const std::vector<std::size_t>& init) {
+  const auto& T = unit.tokens;
+  for (std::size_t k = 0; k < init.size(); ++k) {
+    const Token& t = T[init[k]];
+    if (t.kind != TokenKind::kIdent) continue;
+    if (t.text == "co_await" || t.text == "co_yield") return {};  // fresh await result
+    if (t.text == "this" || t.text == "new") return {};
+    const bool qualifier = k + 1 < init.size() && is_punct(T[init[k + 1]], "::");
+    if (qualifier) continue;
+    const bool call = k + 1 < init.size() && is_punct(T[init[k + 1]], "(");
+    if (call) {
+      if (t.text == "move" || t.text == "forward") continue;
+      return {};
+    }
+    if (k + 1 < init.size() && is_punct(T[init[k + 1]], "<")) continue;  // cast/template
+    return t.text;
+  }
+  return {};
+}
+
+/// True when `init` has the shape `base .|-> accessor (`, i.e. the decl
+/// stores an iterator/raw view into `base`'s storage.
+std::string_view iterator_base(const FileUnit& unit, const std::vector<std::size_t>& init) {
+  const auto& T = unit.tokens;
+  for (std::size_t k = 0; k + 3 < init.size(); ++k) {
+    if (T[init[k]].kind != TokenKind::kIdent) continue;
+    if (!(is_punct(T[init[k + 1]], ".") || is_punct(T[init[k + 1]], "->"))) continue;
+    if (!is_punct(T[init[k + 3]], "(")) continue;
+    for (const std::string_view acc : kIteratorAccessors) {
+      if (is_ident(T[init[k + 2]], acc)) return T[init[k]].text;
+    }
+  }
+  return {};
+}
+
+class CoroDanglingRefPass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return kRuleCoroDanglingRef; }
+
+  [[nodiscard]] std::span<const RuleDoc> rules() const override {
+    static constexpr RuleDoc kDocs[] = {
+        {kRuleCoroDanglingRef,
+         "reference/pointer/iterator into a local crosses a co_await suspension"},
+    };
+    return kDocs;
+  }
+
+  void scan(const FileUnit& unit, std::vector<Finding>& out) override {
+    // Coroutine bodies: function blocks owning at least one co_await/co_yield.
+    std::map<int, std::vector<std::size_t>> suspensions;
+    for (std::size_t i = 0; i < unit.tokens.size(); ++i) {
+      if (!is_suspension(unit.tokens[i])) continue;
+      const int fb = unit.scopes.enclosing_function(unit.scopes.block_of[i]);
+      if (fb >= 0) suspensions[fb].push_back(i);
+    }
+    for (const auto& [fb, susp] : suspensions) {
+      check_capture_list(unit, fb, out);
+      check_local_aliases(unit, fb, susp, out);
+    }
+  }
+
+ private:
+  void check_capture_list(const FileUnit& unit, int fb, std::vector<Finding>& out) {
+    const Block& block = unit.scopes.blocks[static_cast<std::size_t>(fb)];
+    const auto range = lambda_capture_range(unit.tokens, block);
+    if (!range) return;
+    for (std::size_t i = range->first; i < range->second; ++i) {
+      const Token& t = unit.tokens[i];
+      if (!(is_punct(t, "&") || is_punct(t, "&&"))) continue;
+      // `[&]`, `[&x]`, `[a, &b]` capture by reference; `[p = &x]` does not
+      // (the '&' there sits inside an init-capture expression).
+      const bool leads = i == range->first || is_punct(unit.tokens[i - 1], ",");
+      if (!leads) continue;
+      out.push_back(Finding{
+          unit.display_path, t.line, std::string{kRuleCoroDanglingRef},
+          "lambda with a co_await in its body captures by reference: the capture "
+          "outlives the enclosing scope once the coroutine suspends — capture by "
+          "value or pass state through the task's frame"});
+      return;  // one finding per lambda is enough
+    }
+  }
+
+  void check_local_aliases(const FileUnit& unit, int fb,
+                           const std::vector<std::size_t>& susp,
+                           std::vector<Finding>& out) {
+    // Scopes of this coroutine body: the function block plus every
+    // control/init block nested in it (nested lambdas map to themselves
+    // via enclosing_function and are excluded automatically).
+    std::set<int> body;
+    for (std::size_t b = 0; b < unit.scopes.blocks.size(); ++b) {
+      if (unit.scopes.enclosing_function(static_cast<int>(b)) == fb) {
+        body.insert(static_cast<int>(b));
+      }
+    }
+
+    struct Alias {
+      std::size_t decl_tok;
+      std::string_view name;
+      std::string_view base;
+      const char* what;
+    };
+    std::map<std::string_view, std::size_t> locals;  // value name -> decl token
+    std::vector<Alias> aliases;
+    for (const int scope : body) {
+      for (const Statement& stmt : statements_of_scope(unit, scope)) {
+        const auto decl = parse_var_decl(unit, stmt);
+        if (!decl) continue;
+        if (!decl->is_ref && !decl->is_ptr) {
+          locals.emplace(decl->name, decl->name_tok);
+          const std::string_view it_base = iterator_base(unit, decl->init);
+          if (!it_base.empty()) {
+            aliases.push_back({decl->name_tok, decl->name, it_base, "iterator/view into"});
+          }
+          continue;
+        }
+        if (decl->init.empty()) continue;
+        if (decl->is_ptr && !is_punct(unit.tokens[decl->init.front()], "&")) {
+          continue;  // pointer copied from elsewhere, not address-of
+        }
+        const std::string_view base = alias_base(unit, decl->init);
+        if (base.empty() || base == decl->name) continue;
+        aliases.push_back(
+            {decl->name_tok, decl->name, base, decl->is_ptr ? "pointer to" : "reference into"});
+      }
+    }
+
+    for (const Alias& alias : aliases) {
+      const auto base_it = locals.find(alias.base);
+      // Only aliases into *locals declared before them* count — parameters
+      // and members are the caller's lifetime problem, not the frame's.
+      if (base_it == locals.end() || base_it->second > alias.decl_tok) continue;
+      std::size_t first_susp = 0;
+      for (const std::size_t s : susp) {
+        if (s > alias.decl_tok) {
+          first_susp = s;
+          break;
+        }
+      }
+      if (first_susp == 0) continue;
+      for (std::size_t u = first_susp + 1; u < unit.tokens.size(); ++u) {
+        const int blk = unit.scopes.block_of[u];
+        if (body.count(blk) == 0) continue;
+        const Token& t = unit.tokens[u];
+        if (t.kind != TokenKind::kIdent || t.text != alias.name) continue;
+        out.push_back(Finding{
+            unit.display_path, t.line, std::string{kRuleCoroDanglingRef},
+            "'" + std::string{alias.name} + "' (" + alias.what + " local '" +
+                std::string{alias.base} +
+                "') is used after a co_await: the arena-pooled frame may have been "
+                "recycled or relocated at the suspension point — copy the value "
+                "before suspending, or re-derive it after resume"});
+        break;  // one finding per alias
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_coro_dangling_ref_pass() {
+  return std::make_unique<CoroDanglingRefPass>();
+}
+
+}  // namespace iotsim::analyze

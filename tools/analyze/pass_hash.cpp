@@ -1,0 +1,172 @@
+// hash-coverage: every field of the memoised scenario structs must feed
+// scenario_key().
+//
+// core/sweep.cpp memoises simulation results by a content hash of the
+// Scenario (tag "iotSim04"). A field that exists on Scenario/HubInstance/
+// ApConfig/EnvironmentConfig/… but is NOT folded into scenario_key() makes
+// two different scenarios collide in the memo cache — the sweep silently
+// returns the other scenario's energy numbers. That bug class survives
+// every behavioural test that doesn't sweep the exact missing field.
+//
+// Mechanism (tree pass): scan() collects the field lists of the watched
+// struct definitions, and for any file defining a function literally named
+// scenario_key, a map of function name -> identifiers in its body.
+// finish() computes the identifiers *transitively reachable* from
+// scenario_key through same-file helpers (append_world, append_hub_spec,
+// …) and reports every watched field whose name never occurs there.
+// Reachability — not a whole-file identifier grep — is the point: sweep.cpp
+// also mentions fields in invalid_result() and run(), and those mentions
+// must not mask a deleted hash line.
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/decl.h"
+#include "analyze/passes.h"
+
+namespace iotsim::analyze {
+
+namespace {
+
+/// Structs whose every field must reach the sweep memo hash. Extend this
+/// list when a new config struct joins Scenario's object graph.
+constexpr std::string_view kHashedStructs[] = {
+    "Scenario",    "HubInstance",        "ApConfig",     "EnvironmentConfig",
+    "FaultProfileConfig", "CrashConfig", "PowerConfig",  "HarvestTrace",
+    "WorldConfig", "HubSpec"};
+
+constexpr std::string_view kKeyFunction = "scenario_key";
+
+bool is_hashed_struct(std::string_view name) {
+  for (const std::string_view s : kHashedStructs) {
+    if (name == s) return true;
+  }
+  return false;
+}
+
+class HashCoveragePass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return kRuleHashCoverage; }
+
+  [[nodiscard]] std::span<const RuleDoc> rules() const override {
+    static constexpr RuleDoc kDocs[] = {
+        {kRuleHashCoverage,
+         "scenario struct field missing from the scenario_key() content hash"},
+    };
+    return kDocs;
+  }
+
+  void scan(const FileUnit& unit, std::vector<Finding>& out) override {
+    (void)out;
+    collect_fields(unit);
+    collect_key_functions(unit);
+  }
+
+  void finish(std::vector<Finding>& out) override {
+    if (fields_.empty()) return;
+    if (functions_.count(std::string{kKeyFunction}) == 0) {
+      const Field& f = fields_.front();
+      out.push_back(Finding{
+          f.file, f.line, std::string{kRuleHashCoverage},
+          "hashed scenario structs are in the scanned set but no scenario_key() "
+          "definition is — run the analyzer over a tree that includes "
+          "core/sweep.cpp, or drop the struct headers from the scan"});
+      return;
+    }
+    // Identifiers transitively reachable from scenario_key through helpers
+    // defined in the same file(s).
+    std::set<std::string> reachable;
+    std::vector<std::string> worklist{std::string{kKeyFunction}};
+    std::set<std::string> visited;
+    while (!worklist.empty()) {
+      const std::string fn = std::move(worklist.back());
+      worklist.pop_back();
+      if (!visited.insert(fn).second) continue;
+      const auto it = functions_.find(fn);
+      if (it == functions_.end()) continue;
+      for (const std::string& id : it->second) {
+        reachable.insert(id);
+        if (functions_.count(id) != 0) worklist.push_back(id);
+      }
+    }
+    for (const Field& f : fields_) {
+      if (reachable.count(f.name) != 0) continue;
+      out.push_back(Finding{
+          f.file, f.line, std::string{kRuleHashCoverage},
+          "field '" + f.name + "' of hashed struct '" + f.strct +
+              "' never reaches scenario_key(): two scenarios differing only in "
+              "this field collide in the sweep memo cache — append it to the "
+              "content hash (and bump the key version tag)"});
+    }
+  }
+
+ private:
+  void collect_fields(const FileUnit& unit) {
+    const auto& T = unit.tokens;
+    for (std::size_t i = 0; i + 2 < T.size(); ++i) {
+      if (!is_ident(T[i], "struct") || T[i + 1].kind != TokenKind::kIdent) continue;
+      if (!is_hashed_struct(T[i + 1].text)) continue;
+      // Find the body '{' before any ';' (a ';' first means forward decl).
+      std::size_t open = 0;
+      for (std::size_t j = i + 2; j < T.size() && j < i + 18; ++j) {
+        if (is_punct(T[j], ";")) break;
+        if (is_punct(T[j], "{")) {
+          open = j;
+          break;
+        }
+      }
+      if (open == 0) continue;
+      const int block = unit.scopes.block_of[open];
+      if (block < 0) continue;
+      for (const Statement& stmt : statements_of_scope(unit, block)) {
+        const auto decl = parse_var_decl(unit, stmt);
+        if (!decl) continue;
+        if (head_contains(unit, *decl, "static")) continue;  // not per-instance
+        fields_.push_back(Field{unit.display_path, std::string{T[i + 1].text},
+                                std::string{decl->name}, T[decl->name_tok].line});
+      }
+    }
+  }
+
+  void collect_key_functions(const FileUnit& unit) {
+    bool defines_key = false;
+    for (const Block& b : unit.scopes.blocks) {
+      if (b.kind == BlockKind::kFunction &&
+          function_name(unit.tokens, b) == kKeyFunction) {
+        defines_key = true;
+        break;
+      }
+    }
+    if (!defines_key) return;
+    for (const Block& b : unit.scopes.blocks) {
+      if (b.kind != BlockKind::kFunction) continue;
+      const std::string_view name = function_name(unit.tokens, b);
+      if (name.empty()) continue;
+      auto& idents = functions_[std::string{name}];
+      for (std::size_t j = b.open_tok; j <= b.close_tok && j < unit.tokens.size(); ++j) {
+        if (unit.tokens[j].kind == TokenKind::kIdent) {
+          idents.insert(std::string{unit.tokens[j].text});
+        }
+      }
+    }
+  }
+
+  struct Field {
+    std::string file;
+    std::string strct;
+    std::string name;
+    int line = 0;
+  };
+  std::vector<Field> fields_;
+  // function name -> identifiers in its body, from files defining scenario_key
+  std::map<std::string, std::set<std::string>> functions_;
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_hash_coverage_pass() {
+  return std::make_unique<HashCoveragePass>();
+}
+
+}  // namespace iotsim::analyze

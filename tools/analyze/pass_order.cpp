@@ -1,0 +1,296 @@
+// Determinism-ordering passes.
+//
+// unordered-iteration: a range-for over an unordered_{map,set,multimap,
+// multiset} visits elements in a hash-table order that varies with libc++
+// vs libstdc++, with insertion history, and across shard merges — anything
+// folded or printed from such a loop silently stops being byte-identical.
+// Declarations are collected tree-wide (members declared in a header,
+// iterated in a .cpp), then joined against range-for statements in
+// finish(). Order-independent folds (integer sums into a scalar) are
+// legitimate — allowlist them with a justification.
+//
+// pointer-order: sorting or comparing by pointer value (smart-pointer
+// .get() comparisons, std::less/greater over pointer types, std::hash of
+// a pointer, std::sort over a container of pointers) orders results by
+// allocation addresses — ASLR and arena layout make that different every
+// run. Compare a stable id instead.
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analyze/passes.h"
+#include "analyze/analyze.h"
+
+namespace iotsim::analyze {
+
+namespace {
+
+constexpr std::string_view kUnorderedTypes[] = {"unordered_map", "unordered_set",
+                                                "unordered_multimap", "unordered_multiset"};
+
+bool is_unordered_type(const Token& t) {
+  if (t.kind != TokenKind::kIdent) return false;
+  for (const std::string_view u : kUnorderedTypes) {
+    if (t.text == u) return true;
+  }
+  return false;
+}
+
+/// Index just past a template argument list starting at `i` (which must be
+/// '<'), tolerating the merged '>>' closer; `i` itself when unmatched.
+std::size_t skip_template_args(const std::vector<Token>& T, std::size_t i, int* final_depth) {
+  int depth = 0;
+  for (std::size_t j = i; j < T.size() && j < i + 256; ++j) {
+    const Token& t = T[j];
+    if (t.kind != TokenKind::kPunct) continue;
+    if (t.text == "<") ++depth;
+    else if (t.text == ">") --depth;
+    else if (t.text == ">>") depth -= 2;
+    else if (t.text == ";" || t.text == "{") break;
+    if (depth <= 0) {
+      if (final_depth != nullptr) *final_depth = depth;
+      return j + 1;
+    }
+  }
+  return i;
+}
+
+class UnorderedIterationPass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return kRuleUnorderedIteration; }
+
+  [[nodiscard]] std::span<const RuleDoc> rules() const override {
+    static constexpr RuleDoc kDocs[] = {
+        {kRuleUnorderedIteration,
+         "range-for over an unordered container: iteration order is unspecified"},
+    };
+    return kDocs;
+  }
+
+  void scan(const FileUnit& unit, std::vector<Finding>& out) override {
+    (void)out;
+    const auto& T = unit.tokens;
+    for (std::size_t i = 0; i < T.size(); ++i) {
+      // Declarations: unordered_xxx<...> [*&]* name
+      if (is_unordered_type(T[i]) && i + 1 < T.size() && is_punct(T[i + 1], "<")) {
+        std::size_t j = skip_template_args(T, i + 1, nullptr);
+        if (j != i + 1) {
+          while (j < T.size() &&
+                 (is_punct(T[j], "*") || is_punct(T[j], "&") || is_punct(T[j], "&&"))) {
+            ++j;
+          }
+          if (j < T.size() && T[j].kind == TokenKind::kIdent) {
+            declared_.emplace(std::string{T[j].text}, std::string{T[i].text});
+          }
+        }
+      }
+      // Range-fors: for ( decl : range-expr )
+      if (is_ident(T[i], "for") && i + 1 < T.size() && is_punct(T[i + 1], "(")) {
+        const std::size_t close = match_forward(T, i + 1, "(", ")");
+        if (close == i + 1) continue;
+        std::size_t colon = 0;
+        int paren = 0;
+        int bracket = 0;
+        for (std::size_t j = i + 1; j < close; ++j) {
+          if (is_punct(T[j], "(")) ++paren;
+          else if (is_punct(T[j], ")")) --paren;
+          else if (is_punct(T[j], "[")) ++bracket;
+          else if (is_punct(T[j], "]")) --bracket;
+          else if (is_punct(T[j], ";")) { colon = 0; break; }  // classic for
+          else if (is_punct(T[j], ":") && paren == 1 && bracket == 0) { colon = j; break; }
+        }
+        if (colon == 0) continue;
+        RangeFor rf;
+        rf.file = unit.display_path;
+        rf.line = T[i].line;
+        for (std::size_t j = colon + 1; j < close; ++j) {
+          if (T[j].kind == TokenKind::kIdent) rf.idents.push_back(std::string{T[j].text});
+          if (is_unordered_type(T[j])) rf.direct = true;
+        }
+        loops_.push_back(std::move(rf));
+      }
+    }
+  }
+
+  void finish(std::vector<Finding>& out) override {
+    for (const RangeFor& rf : loops_) {
+      std::string culprit;
+      std::string container;
+      if (rf.direct) {
+        culprit = "<temporary>";
+        container = "unordered container";
+      } else {
+        for (const std::string& id : rf.idents) {
+          if (auto it = declared_.find(id); it != declared_.end()) {
+            culprit = id;
+            container = it->second;
+            break;
+          }
+        }
+      }
+      if (culprit.empty()) continue;
+      out.push_back(Finding{
+          rf.file, rf.line, std::string{kRuleUnorderedIteration},
+          "range-for over " + container + " '" + culprit +
+              "': iteration order is unspecified and differs across stdlib versions and "
+              "shard merges — iterate a sorted snapshot or an ordered container "
+              "(allowlist only a provably order-independent fold, with a justification)"});
+    }
+  }
+
+ private:
+  struct RangeFor {
+    std::string file;
+    int line = 0;
+    std::vector<std::string> idents;
+    bool direct = false;  // range expression names an unordered type itself
+  };
+  std::map<std::string, std::string> declared_;  // variable name -> container type
+  std::vector<RangeFor> loops_;
+};
+
+constexpr std::string_view kSortCalls[] = {"sort", "stable_sort", "partial_sort",
+                                           "min_element", "max_element", "nth_element"};
+constexpr std::string_view kPtrSequences[] = {"vector", "deque", "array", "span"};
+
+class PointerOrderPass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return kRulePointerOrder; }
+
+  [[nodiscard]] std::span<const RuleDoc> rules() const override {
+    static constexpr RuleDoc kDocs[] = {
+        {kRulePointerOrder,
+         "ordering/hashing by pointer value varies with allocation layout"},
+    };
+    return kDocs;
+  }
+
+  void scan(const FileUnit& unit, std::vector<Finding>& out) override {
+    const auto& T = unit.tokens;
+    for (std::size_t i = 0; i < T.size(); ++i) {
+      scan_get_comparison(unit, i, out);
+      scan_ordered_functor(unit, i, out);
+      scan_pointer_sequences(unit, i);
+      scan_sort_calls(unit, i);
+    }
+  }
+
+  void finish(std::vector<Finding>& out) override {
+    for (const SortCall& call : sorts_) {
+      for (const std::string& arg : call.idents) {
+        if (ptr_sequences_.count(arg) == 0) continue;
+        out.push_back(Finding{
+            call.file, call.line, std::string{kRulePointerOrder},
+            "'" + call.fn + "' over '" + arg +
+                "', a sequence of raw pointers: default operator< orders by address, "
+                "which follows allocation layout and ASLR — sort by a stable key"});
+        break;
+      }
+    }
+  }
+
+ private:
+  static bool is_comparison(const Token& t) {
+    return t.kind == TokenKind::kPunct &&
+           (t.text == "<" || t.text == ">" || t.text == "<=" || t.text == ">=");
+  }
+
+  /// foo.get() < bar.get()  /  p.get() >= q  /  x < p->get()
+  void scan_get_comparison(const FileUnit& unit, std::size_t i, std::vector<Finding>& out) {
+    const auto& T = unit.tokens;
+    if (!is_comparison(T[i])) return;
+    const bool lhs_get = i >= 4 && is_punct(T[i - 1], ")") && is_punct(T[i - 2], "(") &&
+                         is_ident(T[i - 3], "get") &&
+                         (is_punct(T[i - 4], ".") || is_punct(T[i - 4], "->"));
+    const bool rhs_get = i + 5 < T.size() && T[i + 1].kind == TokenKind::kIdent &&
+                         (is_punct(T[i + 2], ".") || is_punct(T[i + 2], "->")) &&
+                         is_ident(T[i + 3], "get") && is_punct(T[i + 4], "(") &&
+                         is_punct(T[i + 5], ")");
+    if (!lhs_get && !rhs_get) return;
+    out.push_back(Finding{
+        unit.display_path, T[i].line, std::string{kRulePointerOrder},
+        "comparing smart-pointer addresses with '" + std::string{T[i].text} +
+            "': the result follows heap layout, not content — compare a stable id"});
+  }
+
+  /// std::less<T*> / std::greater<T*> / std::hash<T*>
+  void scan_ordered_functor(const FileUnit& unit, std::size_t i, std::vector<Finding>& out) {
+    const auto& T = unit.tokens;
+    if (!(is_ident(T[i], "less") || is_ident(T[i], "greater") || is_ident(T[i], "hash"))) {
+      return;
+    }
+    if (i + 1 >= T.size() || !is_punct(T[i + 1], "<")) return;
+    const std::size_t end = skip_template_args(T, i + 1, nullptr);
+    if (end == i + 1) return;
+    for (std::size_t j = i + 2; j + 1 < end; ++j) {
+      if (is_punct(T[j], "*")) {
+        out.push_back(Finding{
+            unit.display_path, T[i].line, std::string{kRulePointerOrder},
+            "std::" + std::string{T[i].text} +
+                " instantiated over a pointer type orders/hashes by address — use a "
+                "stable key (name, index, id) instead"});
+        return;
+      }
+    }
+  }
+
+  /// Remember `vector<T*> name` declarations (tree-wide).
+  void scan_pointer_sequences(const FileUnit& unit, std::size_t i) {
+    const auto& T = unit.tokens;
+    if (T[i].kind != TokenKind::kIdent) return;
+    bool seq = false;
+    for (const std::string_view s : kPtrSequences) seq = seq || T[i].text == s;
+    if (!seq || i + 1 >= T.size() || !is_punct(T[i + 1], "<")) return;
+    const std::size_t end = skip_template_args(T, i + 1, nullptr);
+    if (end == i + 1) return;
+    bool has_ptr = false;
+    for (std::size_t j = i + 2; j + 1 < end; ++j) has_ptr = has_ptr || is_punct(T[j], "*");
+    if (!has_ptr) return;
+    std::size_t j = end;
+    while (j < T.size() && (is_punct(T[j], "*") || is_punct(T[j], "&") || is_punct(T[j], "&&"))) {
+      ++j;
+    }
+    if (j < T.size() && T[j].kind == TokenKind::kIdent) {
+      ptr_sequences_.emplace(std::string{T[j].text}, 0);
+    }
+  }
+
+  /// Remember sort-family calls and the identifiers in their arguments.
+  void scan_sort_calls(const FileUnit& unit, std::size_t i) {
+    const auto& T = unit.tokens;
+    if (T[i].kind != TokenKind::kIdent) return;
+    bool sorter = false;
+    for (const std::string_view s : kSortCalls) sorter = sorter || T[i].text == s;
+    if (!sorter || i + 1 >= T.size() || !is_punct(T[i + 1], "(")) return;
+    const std::size_t close = match_forward(T, i + 1, "(", ")");
+    if (close == i + 1) return;
+    SortCall call;
+    call.file = unit.display_path;
+    call.line = T[i].line;
+    call.fn = std::string{T[i].text};
+    for (std::size_t j = i + 2; j < close; ++j) {
+      if (T[j].kind == TokenKind::kIdent) call.idents.push_back(std::string{T[j].text});
+    }
+    sorts_.push_back(std::move(call));
+  }
+
+  struct SortCall {
+    std::string file;
+    std::string fn;
+    int line = 0;
+    std::vector<std::string> idents;
+  };
+  std::map<std::string, int> ptr_sequences_;
+  std::vector<SortCall> sorts_;
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_unordered_iteration_pass() {
+  return std::make_unique<UnorderedIterationPass>();
+}
+std::unique_ptr<Pass> make_pointer_order_pass() {
+  return std::make_unique<PointerOrderPass>();
+}
+
+}  // namespace iotsim::analyze

@@ -1,0 +1,97 @@
+// shared-mutable-static: a static race detector for the worker-sharded
+// exec path. core::ExecPolicy runs per-shard HubRuntimes on plain threads;
+// any mutable static — a namespace-scope global, a function-local static
+// cache, a static data member — is state those workers share without a
+// clock or a lock, which is both a data race and a replay hazard (results
+// start depending on shard interleaving).
+//
+// Flagged: `static` declarations and namespace-scope variable definitions
+// that are not const/constexpr/constinit. Skipped: synchronization types
+// (std::atomic/mutex/once_flag/…, which are race-free by construction —
+// still audit them for determinism), thread_local (per-thread, not
+// shared), functions, and using/typedef/friend shapes.
+#include <string>
+#include <vector>
+
+#include "analyze/decl.h"
+#include "analyze/passes.h"
+
+namespace iotsim::analyze {
+
+namespace {
+
+constexpr std::string_view kImmutable[] = {"const", "constexpr", "constinit"};
+constexpr std::string_view kSynchronized[] = {"atomic",     "atomic_flag", "atomic_ref",
+                                              "mutex",      "shared_mutex", "recursive_mutex",
+                                              "once_flag",  "condition_variable",
+                                              "counting_semaphore", "binary_semaphore",
+                                              "barrier",    "latch"};
+
+class SharedMutableStaticPass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return kRuleSharedMutableStatic; }
+
+  [[nodiscard]] std::span<const RuleDoc> rules() const override {
+    static constexpr RuleDoc kDocs[] = {
+        {kRuleSharedMutableStatic,
+         "mutable static / global state is shared across shard workers"},
+    };
+    return kDocs;
+  }
+
+  void scan(const FileUnit& unit, std::vector<Finding>& out) override {
+    // Every scope that can hold a static or a global: file scope plus each
+    // namespace, type and function block. Control/init blocks inherit the
+    // same hazard but declarations there are rare; functions cover them.
+    check_scope(unit, -1, out);
+    for (std::size_t b = 0; b < unit.scopes.blocks.size(); ++b) {
+      const BlockKind kind = unit.scopes.blocks[b].kind;
+      if (kind == BlockKind::kNamespace || kind == BlockKind::kType ||
+          kind == BlockKind::kFunction || kind == BlockKind::kControl) {
+        check_scope(unit, static_cast<int>(b), out);
+      }
+    }
+  }
+
+ private:
+  void check_scope(const FileUnit& unit, int block, std::vector<Finding>& out) {
+    const bool namespace_scope = unit.scopes.at_namespace_scope(block);
+    for (const Statement& stmt : statements_of_scope(unit, block)) {
+      const auto decl = parse_var_decl(unit, stmt);
+      if (!decl) continue;
+      const bool is_static = head_contains(unit, *decl, "static");
+      // Inside functions/types only `static` persists; at namespace scope
+      // every definition is a global ("static" only tweaks linkage).
+      if (!is_static && !namespace_scope) continue;
+      if (head_contains(unit, *decl, "thread_local")) continue;  // per-thread
+      if (head_contains(unit, *decl, "extern")) continue;        // declaration only
+      if (matches_any(unit, *decl, kImmutable)) continue;
+      const bool synced = matches_any(unit, *decl, kSynchronized);
+      if (synced) continue;
+      out.push_back(Finding{
+          unit.display_path, unit.tokens[decl->name_tok].line,
+          std::string{kRuleSharedMutableStatic},
+          "mutable " + std::string{namespace_scope ? "global" : "static"} + " '" +
+              std::string{decl->name} +
+              "' is shared across ExecPolicy shard workers: a data race and a replay "
+              "hazard; make it const/constexpr, thread_local, a synchronization type, "
+              "or per-shard state (allowlist with a justification if truly intended)"});
+    }
+  }
+
+  static bool matches_any(const FileUnit& unit, const VarDecl& decl,
+                          std::span<const std::string_view> words) {
+    for (const std::string_view w : words) {
+      if (head_contains(unit, decl, w)) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_shared_mutable_static_pass() {
+  return std::make_unique<SharedMutableStaticPass>();
+}
+
+}  // namespace iotsim::analyze

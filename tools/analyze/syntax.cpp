@@ -1,0 +1,307 @@
+#include "analyze/syntax.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace iotsim::analyze {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool number_char(char c) {
+  // Rough but sufficient: hex digits, separators, exponent signs handled
+  // by the caller; masking already neutralised char literals.
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '.' || c == '\'';
+}
+
+constexpr std::array<std::string_view, 20> kTwoCharOps = {
+    "::", "->", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+};
+
+bool keyword_any(std::string_view s, std::initializer_list<std::string_view> set) {
+  return std::find(set.begin(), set.end(), s) != set.end();
+}
+
+}  // namespace
+
+bool is_ident(const Token& t, std::string_view word) {
+  return t.kind == TokenKind::kIdent && t.text == word;
+}
+bool is_punct(const Token& t, std::string_view p) {
+  return t.kind == TokenKind::kPunct && t.text == p;
+}
+
+std::vector<Token> tokenize(std::string_view masked) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  int line = 1;
+  bool line_start = true;  // only blanks seen since the last newline
+  while (i < masked.size()) {
+    const char c = masked[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      line_start = true;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
+      ++i;
+      continue;
+    }
+    if (c == '#' && line_start) {
+      // Swallow the whole preprocessor line, honouring \-continuations.
+      while (i < masked.size()) {
+        const std::size_t eol = masked.find('\n', i);
+        if (eol == std::string_view::npos) {
+          i = masked.size();
+          break;
+        }
+        std::size_t back = eol;
+        while (back > i && (masked[back - 1] == ' ' || masked[back - 1] == '\t' ||
+                            masked[back - 1] == '\r')) {
+          --back;
+        }
+        const bool continued = back > i && masked[back - 1] == '\\';
+        i = eol + 1;
+        ++line;
+        if (!continued) break;
+      }
+      line_start = true;
+      continue;
+    }
+    line_start = false;
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < masked.size() && ident_char(masked[j])) ++j;
+      out.push_back({TokenKind::kIdent, masked.substr(i, j - i), i, line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::size_t j = i + 1;
+      while (j < masked.size() && number_char(masked[j])) {
+        // 1e-9 / 0x1p+3 style exponents drag the sign along.
+        if ((masked[j] == 'e' || masked[j] == 'E' || masked[j] == 'p' || masked[j] == 'P') &&
+            j + 1 < masked.size() && (masked[j + 1] == '+' || masked[j + 1] == '-')) {
+          j += 2;
+        } else {
+          ++j;
+        }
+      }
+      out.push_back({TokenKind::kNumber, masked.substr(i, j - i), i, line});
+      i = j;
+      continue;
+    }
+    std::string_view two = masked.substr(i, 2);
+    if (two.size() == 2 &&
+        std::find(kTwoCharOps.begin(), kTwoCharOps.end(), two) != kTwoCharOps.end()) {
+      out.push_back({TokenKind::kPunct, two, i, line});
+      i += 2;
+      continue;
+    }
+    out.push_back({TokenKind::kPunct, masked.substr(i, 1), i, line});
+    ++i;
+  }
+  return out;
+}
+
+std::size_t match_backward(const std::vector<Token>& tokens, std::size_t i,
+                           std::string_view open, std::string_view close) {
+  int depth = 0;
+  for (std::size_t j = i + 1; j-- > 0;) {
+    if (is_punct(tokens[j], close)) {
+      ++depth;
+    } else if (is_punct(tokens[j], open)) {
+      if (--depth == 0) return j;
+    }
+  }
+  return i;
+}
+
+std::size_t match_forward(const std::vector<Token>& tokens, std::size_t i,
+                          std::string_view open, std::string_view close) {
+  int depth = 0;
+  for (std::size_t j = i; j < tokens.size(); ++j) {
+    if (is_punct(tokens[j], open)) {
+      ++depth;
+    } else if (is_punct(tokens[j], close)) {
+      if (--depth == 0) return j;
+    }
+  }
+  return i;
+}
+
+namespace {
+
+/// Decides what the '{' at token `i` introduces by walking backwards over
+/// the tokens that led up to it.
+BlockKind classify_open_brace(const std::vector<Token>& tokens, std::size_t i) {
+  std::size_t j = i;
+  int steps = 0;
+  while (j > 0 && ++steps < 96) {
+    const Token& t = tokens[--j];
+    if (t.kind == TokenKind::kPunct) {
+      const std::string_view p = t.text;
+      if (p == ")") {
+        const std::size_t open = match_backward(tokens, j, "(", ")");
+        if (open == j || open == 0) return BlockKind::kInit;
+        const Token& head = tokens[open - 1];
+        if (head.kind == TokenKind::kIdent &&
+            keyword_any(head.text, {"if", "for", "while", "switch", "catch"})) {
+          return BlockKind::kControl;
+        }
+        return BlockKind::kFunction;
+      }
+      if (p == "]") {
+        const std::size_t open = match_backward(tokens, j, "[", "]");
+        if (open == j) return BlockKind::kInit;
+        if (open > 0 && is_punct(tokens[open - 1], "[")) {
+          // [[attribute]] — skip past both brackets and keep walking.
+          j = open - 1;
+          continue;
+        }
+        const bool subscript =
+            open > 0 && (tokens[open - 1].kind == TokenKind::kIdent ||
+                         is_punct(tokens[open - 1], ")") || is_punct(tokens[open - 1], "]"));
+        if (subscript) {
+          j = open;
+          continue;
+        }
+        return BlockKind::kFunction;  // capture list of a parameterless lambda
+      }
+      if (p == "::" || p == "->" || p == "<" || p == ">" || p == "*" || p == "&" ||
+          p == "&&" || p == ">>" || p == "...") {
+        continue;  // signature-ish: template args, trailing return, refs
+      }
+      return BlockKind::kInit;  // = , ( { ; } and friends: expression context
+    }
+    if (t.kind == TokenKind::kIdent) {
+      if (t.text == "namespace") return BlockKind::kNamespace;
+      if (keyword_any(t.text, {"struct", "class", "union", "enum"})) return BlockKind::kType;
+      if (keyword_any(t.text, {"else", "do", "try"})) return BlockKind::kControl;
+      if (keyword_any(t.text, {"return", "co_return", "co_yield", "co_await", "new",
+                               "throw", "case", "sizeof"})) {
+        return BlockKind::kInit;
+      }
+      continue;  // type names, qualifiers, const/noexcept/final/override…
+    }
+    return BlockKind::kInit;  // a number: expression context
+  }
+  return BlockKind::kInit;
+}
+
+}  // namespace
+
+ScopeMap map_scopes(const std::vector<Token>& tokens) {
+  ScopeMap map;
+  map.block_of.assign(tokens.size(), -1);
+  std::vector<int> stack;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (is_punct(tokens[i], "{")) {
+      Block b;
+      b.open_tok = b.close_tok = i;
+      b.kind = classify_open_brace(tokens, i);
+      b.parent = stack.empty() ? -1 : stack.back();
+      map.block_of[i] = static_cast<int>(map.blocks.size());
+      stack.push_back(static_cast<int>(map.blocks.size()));
+      map.blocks.push_back(b);
+      continue;
+    }
+    if (is_punct(tokens[i], "}")) {
+      if (!stack.empty()) {
+        map.blocks[static_cast<std::size_t>(stack.back())].close_tok = i;
+        map.block_of[i] = stack.back();
+        stack.pop_back();
+      }
+      continue;
+    }
+    map.block_of[i] = stack.empty() ? -1 : stack.back();
+  }
+  return map;
+}
+
+bool ScopeMap::at_namespace_scope(int b) const {
+  while (b >= 0) {
+    if (blocks[static_cast<std::size_t>(b)].kind != BlockKind::kNamespace) return false;
+    b = blocks[static_cast<std::size_t>(b)].parent;
+  }
+  return true;
+}
+
+int ScopeMap::enclosing_function(int b) const {
+  while (b >= 0) {
+    const Block& blk = blocks[static_cast<std::size_t>(b)];
+    if (blk.kind == BlockKind::kFunction) return b;
+    if (blk.kind != BlockKind::kControl && blk.kind != BlockKind::kInit) return -1;
+    b = blk.parent;
+  }
+  return -1;
+}
+
+namespace {
+
+/// Token index of the '(' opening `fn_block`'s parameter list, or npos.
+/// Walks back from the '{' over trailing-return / qualifier tokens.
+std::size_t param_list_open(const std::vector<Token>& tokens, const Block& fn_block) {
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t j = fn_block.open_tok;
+  int steps = 0;
+  while (j > 0 && ++steps < 64) {
+    const Token& t = tokens[--j];
+    if (is_punct(t, ")")) {
+      const std::size_t open = match_backward(tokens, j, "(", ")");
+      return open == j ? npos : open;
+    }
+    if (t.kind == TokenKind::kIdent || t.kind == TokenKind::kPunct) {
+      // const / noexcept / mutable / -> Type / template angle soup.
+      if (is_punct(t, ";") || is_punct(t, "{") || is_punct(t, "}")) return npos;
+      continue;
+    }
+    return npos;
+  }
+  return npos;
+}
+
+}  // namespace
+
+std::optional<std::pair<std::size_t, std::size_t>> lambda_capture_range(
+    const std::vector<Token>& tokens, const Block& fn_block) {
+  // Two shapes: […](params){body}  and  […]{body} (no parameter list).
+  std::size_t closer = static_cast<std::size_t>(-1);
+  if (const std::size_t paren = param_list_open(tokens, fn_block);
+      paren != static_cast<std::size_t>(-1)) {
+    if (paren > 0 && is_punct(tokens[paren - 1], "]")) closer = paren - 1;
+  } else if (fn_block.open_tok > 0 && is_punct(tokens[fn_block.open_tok - 1], "]")) {
+    closer = fn_block.open_tok - 1;
+  }
+  if (closer == static_cast<std::size_t>(-1)) return std::nullopt;
+  const std::size_t open = match_backward(tokens, closer, "[", "]");
+  if (open == closer) return std::nullopt;
+  // Rule out subscripts (arr[i]) and attributes ([[…]]).
+  if (open > 0 && (tokens[open - 1].kind == TokenKind::kIdent || is_punct(tokens[open - 1], ")") ||
+                   is_punct(tokens[open - 1], "]") || is_punct(tokens[open - 1], "["))) {
+    return std::nullopt;
+  }
+  return std::make_pair(open + 1, closer);
+}
+
+std::string_view function_name(const std::vector<Token>& tokens, const Block& fn_block) {
+  const std::size_t paren = param_list_open(tokens, fn_block);
+  if (paren == static_cast<std::size_t>(-1) || paren == 0) return {};
+  const Token& before = tokens[paren - 1];
+  if (before.kind == TokenKind::kIdent &&
+      !keyword_any(before.text, {"if", "for", "while", "switch", "catch", "noexcept",
+                                 "decltype", "sizeof", "alignof"})) {
+    return before.text;
+  }
+  return {};
+}
+
+}  // namespace iotsim::analyze

@@ -1,0 +1,96 @@
+// Lexical backbone of iotsim_analyze: a lightweight C++ tokenizer plus a
+// brace-block scope map, both computed once per file and shared by every
+// semantic pass.
+//
+// The tokenizer runs on the output of lint::mask_comments_and_strings, so
+// comments and literal payloads are already blanks: what remains is real
+// code. It is deliberately not a parser — passes match token shapes
+// (declarations, range-fors, capture lists) rather than build an AST, which
+// keeps the tool a few hundred lines and fast enough to gate every ctest
+// run, at the cost of heuristics documented per pass.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace iotsim::analyze {
+
+enum class TokenKind : unsigned char {
+  kIdent,  // identifiers and keywords (maximal [A-Za-z_][A-Za-z0-9_]* runs)
+  kNumber, // numeric literals, including 0x…, digit separators, exponents
+  kPunct,  // punctuation; common two-char operators are merged (::, ->, ==…)
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string_view text;   // view into the masked buffer handed to tokenize()
+  std::size_t offset = 0;  // byte offset into that buffer
+  int line = 1;            // 1-based source line
+};
+
+/// Tokenizes masked source. Preprocessor lines (leading '#', including
+/// backslash continuations) are swallowed entirely — directives are the
+/// legacy lexical scanner's business, and letting `#define` bodies leak
+/// into the token stream would fake declarations at namespace scope.
+[[nodiscard]] std::vector<Token> tokenize(std::string_view masked);
+
+[[nodiscard]] bool is_ident(const Token& t, std::string_view word);
+[[nodiscard]] bool is_punct(const Token& t, std::string_view p);
+
+/// What kind of construct a `{ … }` block is, decided by looking backwards
+/// from the opening brace at the tokens that introduced it.
+enum class BlockKind : unsigned char {
+  kNamespace,  // namespace N { … }   (incl. anonymous / nested names)
+  kType,       // struct/class/union/enum body
+  kFunction,   // function, member function, or lambda body
+  kControl,    // if/for/while/switch/catch/else/do/try body
+  kInit,       // braced initializer or other expression-context braces
+};
+
+struct Block {
+  std::size_t open_tok = 0;   // index of the '{' token
+  std::size_t close_tok = 0;  // index of the matching '}' (== open if unclosed)
+  BlockKind kind = BlockKind::kInit;
+  int parent = -1;  // index into the block vector, -1 for top level
+};
+
+struct ScopeMap {
+  std::vector<Block> blocks;
+  /// For every token, the index of its innermost enclosing block (-1 at
+  /// file scope). The '{' / '}' tokens belong to the block they delimit.
+  std::vector<int> block_of;
+
+  /// True when block `b` (or file scope, b == -1) sits inside namespaces
+  /// only — i.e. declarations here are globals.
+  [[nodiscard]] bool at_namespace_scope(int b) const;
+  /// Innermost enclosing block of kind kFunction, walking out of control
+  /// blocks; -1 when `b` is not inside a function.
+  [[nodiscard]] int enclosing_function(int b) const;
+};
+
+[[nodiscard]] ScopeMap map_scopes(const std::vector<Token>& tokens);
+
+/// If `fn_block` (kFunction) is a lambda body, the half-open token range of
+/// its capture list contents (between '[' and ']'); nullopt for ordinary
+/// functions.
+[[nodiscard]] std::optional<std::pair<std::size_t, std::size_t>> lambda_capture_range(
+    const std::vector<Token>& tokens, const Block& fn_block);
+
+/// Name of the function whose body is `fn_block` ("" for lambdas or when
+/// the signature shape is unrecognisable): the identifier before the
+/// parameter list's '('.
+[[nodiscard]] std::string_view function_name(const std::vector<Token>& tokens,
+                                             const Block& fn_block);
+
+/// Index of the matching opening token for closer at `i` (e.g. '(' for ')'),
+/// scanning backwards; npos-like `i` itself when unmatched.
+[[nodiscard]] std::size_t match_backward(const std::vector<Token>& tokens, std::size_t i,
+                                         std::string_view open, std::string_view close);
+/// Index of the matching closing token for opener at `i`, scanning forward.
+[[nodiscard]] std::size_t match_forward(const std::vector<Token>& tokens, std::size_t i,
+                                        std::string_view open, std::string_view close);
+
+}  // namespace iotsim::analyze

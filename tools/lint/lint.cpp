@@ -4,8 +4,10 @@
 #include <cctype>
 #include <fstream>
 #include <istream>
+#include <span>
 #include <sstream>
 #include <stdexcept>
+#include <system_error>
 
 namespace iotsim::lint {
 
@@ -15,8 +17,8 @@ bool is_ident_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
 }
 
-bool is_known_rule(std::string_view rule) {
-  return std::find(std::begin(kAllRules), std::end(kAllRules), rule) != std::end(kAllRules);
+bool is_known_rule(std::string_view rule, std::span<const std::string_view> known) {
+  return std::find(known.begin(), known.end(), rule) != known.end();
 }
 
 /// 1-based line number of byte offset `pos` in `text`.
@@ -133,7 +135,7 @@ void append_sorted(std::vector<Finding>& out, std::vector<Finding> more) {
 
 }  // namespace
 
-Config parse_config(std::istream& in) {
+Config parse_config(std::istream& in, std::span<const std::string_view> known_rules) {
   Config cfg;
   std::string raw;
   int lineno = 0;
@@ -153,7 +155,7 @@ Config parse_config(std::istream& in) {
       throw std::runtime_error("lint config line " + std::to_string(lineno) +
                                ": expected 'allow <rule> <path-substring>'");
     }
-    if (!is_known_rule(entry.rule)) {
+    if (!is_known_rule(entry.rule, known_rules)) {
       throw std::runtime_error("lint config line " + std::to_string(lineno) +
                                ": unknown rule '" + entry.rule + "'");
     }
@@ -162,10 +164,11 @@ Config parse_config(std::istream& in) {
   return cfg;
 }
 
-Config load_config(const std::filesystem::path& file) {
+Config load_config(const std::filesystem::path& file,
+                   std::span<const std::string_view> known_rules) {
   std::ifstream in{file};
   if (!in) throw std::runtime_error("cannot open lint config: " + file.string());
-  return parse_config(in);
+  return parse_config(in, known_rules);
 }
 
 bool allowed(const Config& cfg, std::string_view rule, std::string_view file) {
@@ -257,13 +260,34 @@ std::vector<Finding> scan_file(const std::filesystem::path& file, const Config& 
   return scan_source(file.generic_string(), buf.str(), cfg);
 }
 
-std::vector<Finding> scan_paths(const std::vector<std::filesystem::path>& paths,
-                                const Config& cfg) {
+std::vector<std::filesystem::path> collect_source_files(
+    const std::vector<std::filesystem::path>& paths) {
   namespace fs = std::filesystem;
+
+  // Directories that hold no scannable sources: build trees (any "build*"
+  // sibling the usual cmake -B spellings produce), VCS metadata, editor and
+  // cache droppings. Everything dot-prefixed is skipped wholesale.
+  const auto skip_dir = [](const fs::path& dir) {
+    const std::string name = dir.filename().string();
+    if (name.empty() || name.front() == '.') return true;
+    if (name.rfind("build", 0) == 0) return true;
+    return name == "third_party" || name == "external" || name == "node_modules" ||
+           name == "__pycache__" || name == "CMakeFiles";
+  };
+
   std::vector<fs::path> files;
   for (const fs::path& p : paths) {
     if (fs::is_directory(p)) {
-      for (const auto& entry : fs::recursive_directory_iterator{p}) {
+      // Note: directory symlinks inside the tree are not followed (the
+      // iterator default), so a link cycle cannot loop the scan; the root
+      // itself may be a symlink — display paths then keep the root as
+      // spelled, and the canonical-path dedup below keeps each file once.
+      fs::recursive_directory_iterator it{p, fs::directory_options::skip_permission_denied};
+      for (const fs::directory_entry& entry : it) {
+        if (entry.is_directory() && !entry.is_symlink() && skip_dir(entry.path())) {
+          it.disable_recursion_pending();
+          continue;
+        }
         if (!entry.is_regular_file()) continue;
         const std::string ext = entry.path().extension().string();
         if (ext == ".h" || ext == ".cpp") files.push_back(entry.path());
@@ -272,10 +296,30 @@ std::vector<Finding> scan_paths(const std::vector<std::filesystem::path>& paths,
       files.push_back(p);
     }
   }
-  std::sort(files.begin(), files.end());
+  std::sort(files.begin(), files.end(),
+            [](const fs::path& a, const fs::path& b) { return a.generic_string() < b.generic_string(); });
 
+  // Deduplicate files reachable under several spellings (symlinked roots,
+  // a path listed twice): first sorted display path wins.
+  std::vector<fs::path> unique;
+  std::vector<std::string> seen;
+  for (const fs::path& f : files) {
+    std::error_code ec;
+    fs::path canon = fs::weakly_canonical(f, ec);
+    std::string key = ec ? f.generic_string() : canon.generic_string();
+    if (std::find(seen.begin(), seen.end(), key) != seen.end()) continue;
+    seen.push_back(std::move(key));
+    unique.push_back(f);
+  }
+  return unique;
+}
+
+std::vector<Finding> scan_paths(const std::vector<std::filesystem::path>& paths,
+                                const Config& cfg) {
   std::vector<Finding> findings;
-  for (const fs::path& f : files) append_sorted(findings, scan_file(f, cfg));
+  for (const std::filesystem::path& f : collect_source_files(paths)) {
+    append_sorted(findings, scan_file(f, cfg));
+  }
   return findings;
 }
 

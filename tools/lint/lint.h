@@ -15,6 +15,7 @@
 
 #include <filesystem>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -57,9 +58,13 @@ struct Config {
 };
 
 /// Parses "allow <rule> <path-substring>" lines ('#' comments, blank lines
-/// ignored). Throws std::runtime_error on a malformed line or unknown rule.
-[[nodiscard]] Config parse_config(std::istream& in);
-[[nodiscard]] Config load_config(const std::filesystem::path& file);
+/// ignored). Throws std::runtime_error on a malformed line or a rule not in
+/// `known_rules` — the analyzer passes its full catalogue here so allowlist
+/// entries for semantic rules validate too.
+[[nodiscard]] Config parse_config(std::istream& in,
+                                  std::span<const std::string_view> known_rules = kAllRules);
+[[nodiscard]] Config load_config(const std::filesystem::path& file,
+                                 std::span<const std::string_view> known_rules = kAllRules);
 
 /// True when `cfg` suppresses `rule` for `file`.
 [[nodiscard]] bool allowed(const Config& cfg, std::string_view rule, std::string_view file);
@@ -78,8 +83,18 @@ struct Config {
 [[nodiscard]] std::vector<Finding> scan_file(const std::filesystem::path& file,
                                              const Config& cfg);
 
-/// Scans files and directories (recursing into .h/.cpp). Findings are
-/// sorted by (file, line, rule) for deterministic output.
+/// Expands files and directories into the sorted, deduplicated list of
+/// .h/.cpp sources to scan. Recursion skips non-source directories
+/// (build trees, VCS metadata, anything dot-prefixed) and does not follow
+/// directory symlinks; files reachable twice (e.g. through a symlinked
+/// root) are deduplicated on their canonical path, keeping the first
+/// display path in sorted order — so output is stable however the tree is
+/// mounted.
+[[nodiscard]] std::vector<std::filesystem::path> collect_source_files(
+    const std::vector<std::filesystem::path>& paths);
+
+/// Scans files and directories (recursing per collect_source_files).
+/// Findings are sorted by (file, line, rule) for deterministic output.
 [[nodiscard]] std::vector<Finding> scan_paths(const std::vector<std::filesystem::path>& paths,
                                               const Config& cfg);
 
