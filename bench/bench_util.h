@@ -13,10 +13,15 @@
 // The standard bench JSON (written by Session when --json is given) has the
 // same shape for every fig*/ablate*/fleet* target:
 //   {"bench": ..., "jobs": N, "windows": K, "hubs": N,
-//    "wall_ms": ..., "peak_rss_bytes": ...,
+//    "wall_ms": ..., "setup_ms": ..., "sim_ms": ..., "peak_rss_bytes": ...,
 //    "scenarios_executed": N, "cache_hits": N,
 //    "events_dispatched": N, "events_per_sec": ...,
 //    "extra": {bench-specific numbers recorded via Session::record}}
+// sim_ms is the time spent inside scenario execution (Session::run*/
+// prefetch, plus anything a bench times itself and reports via add_sim_ms);
+// setup_ms = wall_ms − sim_ms is everything else: scenario construction,
+// table/JSON assembly, process start-up. Fleet benches use the split to
+// show that lazy hub materialization keeps setup sublinear in fleet size.
 #pragma once
 
 #include <chrono>
@@ -165,6 +170,11 @@ class Session {
   /// object (e.g. speedups, shard efficiency). Last write per key wins.
   void record(const std::string& key, double value) { extra_[key] = value; }
 
+  /// Adds externally timed scenario-execution milliseconds to the sim_ms
+  /// bucket — for benches that drive core::run_scenario directly instead of
+  /// going through this session's sweep.
+  void add_sim_ms(double ms) { sim_ms_ += ms; }
+
   /// Writes the standard bench JSON record now (also runs at destruction
   /// when --json was given). Safe to call repeatedly; later calls overwrite.
   void write_json() const {
@@ -180,6 +190,8 @@ class Session {
     v["windows"] = Value{opts_.windows};
     v["hubs"] = Value{opts_.hubs};
     v["wall_ms"] = Value{wall_ms};
+    v["sim_ms"] = Value{sim_ms_};
+    v["setup_ms"] = Value{wall_ms > sim_ms_ ? wall_ms - sim_ms_ : 0.0};
     v["peak_rss_bytes"] = Value{static_cast<double>(peak_rss_bytes())};
     v["scenarios_executed"] = Value{static_cast<double>(s.executed)};
     v["cache_hits"] = Value{static_cast<double>(s.cache_hits)};
@@ -214,28 +226,50 @@ class Session {
 
   /// Warms the memo with a batch of scenarios, in parallel.
   void prefetch(const std::vector<core::Scenario>& scenarios) {
+    const SimTimer timer{this};
     (void)sweep_.run(scenarios);
   }
 
   [[nodiscard]] core::ScenarioResult run(const core::Scenario& sc) {
+    const SimTimer timer{this};
     return sweep_.run_one(sc);
   }
   [[nodiscard]] core::ScenarioResult run(std::vector<apps::AppId> ids, core::Scheme scheme,
                                          bool trace = false) {
-    return sweep_.run_one(scenario(std::move(ids), scheme, trace));
+    auto sc = scenario(std::move(ids), scheme, trace);
+    const SimTimer timer{this};
+    return sweep_.run_one(sc);
   }
 
   [[nodiscard]] std::vector<core::ScenarioResult> run_all(
       const std::vector<core::Scenario>& scenarios) {
+    const SimTimer timer{this};
     return sweep_.run(scenarios);
   }
 
   [[nodiscard]] core::SweepRunner& sweep() { return sweep_; }
 
  private:
+  /// Scoped accumulator: every run*/prefetch adds its elapsed time to the
+  /// session's sim_ms bucket.
+  struct SimTimer {
+    explicit SimTimer(Session* s)
+        : session{s}, begin{std::chrono::steady_clock::now()} {}
+    ~SimTimer() {
+      session->sim_ms_ +=
+          std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - begin)
+              .count();
+    }
+    SimTimer(const SimTimer&) = delete;
+    SimTimer& operator=(const SimTimer&) = delete;
+    Session* session;
+    std::chrono::steady_clock::time_point begin;
+  };
+
   Options opts_;
   core::SweepRunner sweep_;
   std::chrono::steady_clock::time_point started_;
+  double sim_ms_ = 0.0;  // time inside scenario execution (see header note)
   std::map<std::string, double> extra_;  // ordered ⇒ stable JSON key order
 };
 

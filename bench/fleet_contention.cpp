@@ -8,11 +8,19 @@
 // Fleet×medium combinations sweep through SweepRunner, so --jobs=N fans the
 // grid out; numbers are bit-identical at any job count.
 //
-// The closing section scales one contended fleet to --hubs=N (default 1024)
-// behind the mid-tier uplink. A shared access point serializes all hubs
-// through one arbiter, so ExecPolicy sharding must collapse to the exact
-// single-shard path — the section asserts the collapse stays byte-identical
-// and reports the big-fleet wall time and events/sec into the bench JSON.
+// Every section after the prefetch replays memoized scenarios: the grid is
+// warmed once (including the CSMA variant of the backoff table) and the
+// bench asserts at exit that no section re-executed a scenario the memo
+// already held.
+//
+// The closing section scales one contended fleet to --hubs=N (default 1024,
+// CI smokes 10000) behind the mid-tier uplink in window-quantum mode
+// (ApConfig::reservation_window): the AP arbitrates airtime in reservation-
+// window batches, which is exactly the coupling contract the shard barrier
+// can honour — so the fleet runs with shards > 1 while a SharedAccessPoint
+// is attached, and the section asserts the sharded result stays
+// byte-identical to the single-shard run. The event-driven (non-windowed)
+// AP still collapses to one shard; that is asserted via effective_shards.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -49,7 +57,8 @@ constexpr Uplink kUplinks[] = {
 };
 
 core::Scenario fleet_scenario(int hubs, const Uplink& uplink, int windows,
-                              net::BackoffPolicy backoff = net::BackoffPolicy::kFifo) {
+                              net::BackoffPolicy backoff = net::BackoffPolicy::kFifo,
+                              sim::Duration reservation_window = sim::Duration::zero()) {
   auto builder = core::Scenario::builder()
                      .scheme(core::Scheme::kBcom)
                      .windows(windows)
@@ -62,6 +71,7 @@ core::Scenario fleet_scenario(int hubs, const Uplink& uplink, int windows,
     net::ApConfig ap;
     ap.bytes_per_second = uplink.bytes_per_second;
     ap.backoff = backoff;
+    ap.reservation_window = reservation_window;
     builder.network(ap);
   }
   return builder.build();
@@ -94,12 +104,18 @@ int main(int argc, char** argv) {
 
   const int sizes[] = {1, 2, 4, 8, 16, 32, 64};
 
+  const Uplink mid{"5Mbit", 6.25e5};
   std::vector<core::Scenario> grid;
   for (int n : sizes) {
     for (const auto& uplink : kUplinks) {
       grid.push_back(fleet_scenario(n, uplink, session.windows()));
     }
   }
+  // The backoff table's CSMA variant is not part of the size×uplink grid —
+  // warm it with the same batch so the table section below replays it from
+  // the memo instead of re-executing it serially (its FIFO row already
+  // dedups against the grid).
+  grid.push_back(fleet_scenario(16, mid, session.windows(), net::BackoffPolicy::kCsma));
   session.prefetch(grid);
 
   trace::TablePrinter t{{"Hubs", "Uplink", "Net J", "Wait mean (ms)", "Wait p99 (ms)",
@@ -141,7 +157,6 @@ int main(int argc, char** argv) {
   // FIFO vs CSMA on a mid-size fleet and the mid-tier uplink: the CSMA
   // variant re-senses with randomized backoff, so it trades extra retries
   // (and a little extra listen energy) for no admission-order queue.
-  const Uplink mid{"5Mbit", 6.25e5};
   trace::TablePrinter bt{{"Backoff", "Net J", "Wait mean (ms)", "Wait p99 (ms)", "Retries",
                           "Drops"}};
   for (auto policy : {net::BackoffPolicy::kFifo, net::BackoffPolicy::kCsma}) {
@@ -163,41 +178,91 @@ int main(int argc, char** argv) {
   std::cout << "uplink-shrink monotonicity (net energy, airtime wait): "
             << (monotone ? "holds" : "VIOLATED") << '\n';
 
-  // --- Big contended fleet ----------------------------------------------
-  // The shared access point couples every hub, so the sharded executor must
-  // fall back to the exact single-shard path (effective_shards == 1); lock
-  // that collapse in at scale and report the big-fleet throughput.
-  const int big_hubs = session.hubs_or(1024);
-  std::cout << "\nBig contended fleet: " << big_hubs << " hubs, 5 Mbit/s FIFO uplink\n";
-  const core::Scenario big_sc = fleet_scenario(big_hubs, mid, session.windows());
+  // Every table row above must have been a memo hit: the prefetch executed
+  // the grid (incl. the CSMA variant) exactly once, and both sections
+  // replayed from the cache.
+  const auto sweep_stats = session.sweep().stats();
+  const std::size_t expected_hits = std::size(sizes) * std::size(kUplinks) + 2;
+  const bool memo_reused =
+      static_cast<std::size_t>(sweep_stats.executed) == grid.size() &&
+      static_cast<std::size_t>(sweep_stats.cache_hits) == expected_hits;
+  if (!memo_reused) {
+    std::cerr << "MEMO REUSE VIOLATION: executed " << sweep_stats.executed << " (want "
+              << grid.size() << "), cache hits " << sweep_stats.cache_hits << " (want "
+              << expected_hits << ")\n";
+  }
 
-  const auto t0 = std::chrono::steady_clock::now();
-  const core::ScenarioResult big = core::run_scenario(big_sc);
-  const double big_ms =
-      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
-          .count();
-  const core::ScenarioResult big_sharded =
-      core::run_scenario(big_sc, core::ExecPolicy{.shards = 8});
+  // --- Big contended fleet ----------------------------------------------
+  // Window-quantum mode: the AP batches airtime requests per 10 ms
+  // reservation window and arbitrates each batch at the boundary — the
+  // coupling contract the shard barrier honours, so this fleet runs with
+  // shards > 1 while every hub contends for one SharedAccessPoint, and the
+  // result must stay byte-identical to the single-shard run.
+  const int big_hubs = session.hubs_or(1024);
+  const sim::Duration quantum = sim::Duration::ms(10);
+  const int big_shards = 8;
+  std::cout << "\nBig contended fleet: " << big_hubs
+            << " hubs, 5 Mbit/s FIFO uplink, 10 ms reservation windows\n";
+  const core::Scenario big_sc =
+      fleet_scenario(big_hubs, mid, session.windows(), net::BackoffPolicy::kFifo, quantum);
+
+  // The event-driven AP (no reservation window) still cannot shard: its
+  // grant order at equal timestamps needs the global event sequence.
+  {
+    core::ScenarioRunner plain{fleet_scenario(big_hubs, mid, session.windows())};
+    if (plain.effective_shards(core::ExecPolicy{.shards = big_shards}) != 1) {
+      std::cerr << "event-driven shared AP failed to collapse to one shard\n";
+      return 1;
+    }
+  }
+
+  auto timed_run = [&](const core::ExecPolicy& policy) {
+    const auto t0 = std::chrono::steady_clock::now();
+    core::ScenarioResult r = core::run_scenario(big_sc, policy);
+    const double ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+            .count();
+    session.add_sim_ms(ms);
+    return std::pair{std::move(r), ms};
+  };
+  const auto [big, big_ms] = timed_run(core::ExecPolicy{});
+  const auto [big_sharded, big_sharded_ms] =
+      timed_run(core::ExecPolicy{.shards = big_shards});
   const bool identical = core::to_json_text(big) == core::to_json_text(big_sharded);
+  const int shards_used = big_sharded.energy.kernel().shards;
 
   const auto big_events = static_cast<double>(big.energy.kernel().events_dispatched);
   const double big_eps = big_ms > 0.0 ? big_events / (big_ms / 1e3) : 0.0;
+  const double sharded_eps =
+      big_sharded_ms > 0.0 ? big_events / (big_sharded_ms / 1e3) : 0.0;
   const auto big_spread = wait_spread(big);
   using TP = trace::TablePrinter;
-  trace::TablePrinter gt{{"Hubs", "Wall (ms)", "Events/sec", "Wait mean (ms)",
+  trace::TablePrinter gt{{"Shards", "Wall (ms)", "Events/sec", "Wait mean (ms)",
                           "Wait p99 (ms)", "Util"}};
-  gt.add_row({std::to_string(big_hubs), TP::num(big_ms, 5), TP::num(big_eps, 6),
+  gt.add_row({"1", TP::num(big_ms, 5), TP::num(big_eps, 6),
               TP::num(big_spread.mean_ms, 4), TP::num(big_spread.p99_ms, 4),
               TP::num(big.energy.congestion().utilization, 3)});
+  gt.add_row({std::to_string(shards_used), TP::num(big_sharded_ms, 5),
+              TP::num(sharded_eps, 6), TP::num(big_spread.mean_ms, 4),
+              TP::num(big_spread.p99_ms, 4),
+              TP::num(big_sharded.energy.congestion().utilization, 3)});
   std::cout << gt.render() << '\n';
-  std::cout << "sharded-policy collapse (shared AP => 1 shard) JSON: "
+  std::cout << "windowed shared-AP sharding (" << shards_used << " shards) JSON: "
             << (identical ? "byte-identical" : "DIVERGED") << '\n';
+  if (shards_used <= 1) {
+    std::cerr << "windowed shared AP did not shard (kernel.shards == " << shards_used
+              << ")\n";
+  }
 
   session.record("fleet_hubs", big_hubs);
   session.record("fleet_events", big_events);
   session.record("fleet_wall_ms", big_ms);
+  session.record("fleet_sharded_ms", big_sharded_ms);
+  session.record("fleet_shards_used", shards_used);
   session.record("fleet_events_per_sec", big_eps);
+  session.record("fleet_sharded_events_per_sec", sharded_eps);
   session.record("fleet_byte_identical", identical ? 1.0 : 0.0);
+  session.record("fleet_memo_reused", memo_reused ? 1.0 : 0.0);
 
-  return monotone && identical ? 0 : 1;
+  return monotone && identical && memo_reused && shards_used > 1 ? 0 : 1;
 }

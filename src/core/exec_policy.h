@@ -9,12 +9,26 @@
 // Sharding model: hubs couple only through the shared net::Medium. With the
 // ideal medium (no `network` section) acquire() never suspends, hubs are
 // fully independent, and the fleet splits into contiguous hub blocks, one
-// Simulator/Arena/ledger per shard on its own worker thread. With a
-// SharedAccessPoint the conservative coupling window — no queued burst can
-// start before the medium's current reservation ends (MediumStats::
-// next_free) — degenerates to the granularity of single grants, so the
-// effective shard count collapses to 1 and the run takes the exact legacy
-// path. Power-trace recording also forces one shard (one shared trace).
+// Simulator/Arena/ledger per shard on its own worker thread.
+//
+// Window-quantum coupling contract: a SharedAccessPoint whose ApConfig sets
+// `reservation_window` (FIFO only) batches every airtime request made during
+// a reservation window [kQ−Q, kQ) and arbitrates the batch at the boundary
+// kQ in (request time, attachment slot, sequence) order — a total order that
+// does not depend on the interleaving in which requests arrive. That is
+// exactly a barrier schedule: shards run decoupled inside a window, meet at
+// every boundary, and the barrier completion step arbitrates — so windowed
+// shared-AP fleets shard, byte-identical to the single-kernel run (which
+// drives the same arbitration from boundary system events). The runner
+// forces the shard window to the reservation window
+// (ScenarioRunner::effective_window); any other quantum would arbitrate at
+// the wrong times.
+//
+// A SharedAccessPoint *without* a reservation window keeps the event-driven
+// FIFO/CSMA model: grant order at equal timestamps depends on the global
+// event sequence, no partition can reproduce it, and the effective shard
+// count collapses to 1 (the exact legacy path). Power-trace recording also
+// forces one shard (one shared trace).
 #pragma once
 
 #include "sim/sim_time.h"
@@ -23,15 +37,17 @@ namespace iotsim::core {
 
 struct ExecPolicy {
   /// Worker shards to split the fleet across; clamped to [1, fleet size]
-  /// and collapsed to 1 whenever hubs couple (shared AP, power trace).
+  /// and collapsed to 1 whenever hubs couple in a way the barrier cannot
+  /// honour (non-windowed shared AP, power trace).
   int shards = 1;
 
   /// Simulated-time barrier interval between shards. Shards drain events up
-  /// to each window boundary, then synchronize before continuing — the hook
-  /// that keeps any future coupled medium conservative. Duration::max()
-  /// (the default) means free-running: no barriers, each shard runs to
-  /// completion. Either setting yields identical results; finite windows
-  /// only add synchronization.
+  /// to each window boundary, then synchronize before continuing.
+  /// Duration::max() (the default) means free-running: no barriers, each
+  /// shard runs to completion. Either setting yields identical results;
+  /// finite windows only add synchronization. Ignored — forced to the AP's
+  /// reservation window — when the scenario couples hubs through a
+  /// window-quantum access point (see ScenarioRunner::effective_window).
   sim::Duration window = sim::Duration::max();
 };
 

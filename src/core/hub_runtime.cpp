@@ -14,7 +14,12 @@ using sim::Duration;
 using sim::Task;
 
 HubRuntime::HubRuntime(sim::Simulator& sim, energy::EnergyAccountant& acct, Config cfg)
-    : sim_{sim}, acct_{acct}, cfg_{std::move(cfg)}, rng_{cfg_.seed} {
+    : sim_{sim},
+      acct_{acct},
+      cfg_{std::move(cfg)},
+      rng_{cfg_.seed},
+      streams_{sim::ArenaAllocator<SensorStream>{cfg_.arena}},
+      executors_{sim::ArenaAllocator<AppExecutor>{cfg_.arena}} {
   // The hub's components register contiguously from here — remember the
   // slice so the environment supervisor can read this hub's ledger share.
   comp_begin_ = acct.component_count();
@@ -28,9 +33,14 @@ HubRuntime::HubRuntime(sim::Simulator& sim, energy::EnergyAccountant& acct, Conf
   if (cfg_.medium != nullptr) {
     // Backoff RNGs come from the hub seed xor fixed per-NIC salts — NOT from
     // rng_.fork(), which would shift the fork sequence the sensors and fault
-    // models consume and perturb every existing result.
-    hub_->main_nic().attach_medium(*cfg_.medium, sim::Rng{cfg_.seed ^ 0x6D61696E5F6E6963ull});
-    hub_->mcu_nic().attach_medium(*cfg_.medium, sim::Rng{cfg_.seed ^ 0x6D63755F6E696320ull});
+    // models consume and perturb every existing result. Slots 2i/2i+1 keep
+    // attachment handles independent of cross-shard construction order (an
+    // eagerly built fleet attached in exactly this order, so the handles —
+    // and the per-attachment stats layout — are unchanged).
+    hub_->main_nic().attach_medium(*cfg_.medium, sim::Rng{cfg_.seed ^ 0x6D61696E5F6E6963ull},
+                                   2 * cfg_.hub_index);
+    hub_->mcu_nic().attach_medium(*cfg_.medium, sim::Rng{cfg_.seed ^ 0x6D63755F6E696320ull},
+                                  2 * cfg_.hub_index + 1);
   }
 
   // Offload plan (consulted by kCom / kBcom).

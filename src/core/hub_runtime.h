@@ -30,6 +30,7 @@
 #include "core/reports.h"
 #include "core/scenario.h"
 #include "env/hub_environment.h"
+#include "sim/arena.h"
 
 namespace iotsim::net {
 class Medium;
@@ -53,11 +54,21 @@ class HubRuntime {
     int batch_flushes_per_window = 1;
     double mcu_speed_factor = 1.0;
     std::uint64_t seed = 0;
+    /// Flat fleet index of this hub (HubView::index). Decides the hub's
+    /// medium attachment slots (2i main, 2i+1 MCU) so attachment handles do
+    /// not depend on the order shard workers build their hubs in.
+    std::size_t hub_index = 0;
     /// Shared medium this hub's NICs transmit through; nullptr leaves the
     /// NICs unattached (the pre-network-layer behaviour). Must outlive the
     /// runtime. Backoff RNG streams are derived from `seed` with fixed
     /// salts, independent of the hub's sensor/fault streams.
     net::Medium* medium = nullptr;
+    /// Arena the hub's container spines (streams, executors) allocate from —
+    /// the shard's frame arena, so a lazily built fleet keeps each hub's
+    /// runtime state on its own shard instead of one global heap. nullptr ⇒
+    /// the global heap (standalone construction in tests). Must outlive the
+    /// runtime.
+    sim::Arena* arena = nullptr;
     /// This hub's environment: fault profile, crash model, power source.
     /// Unset ⇒ the legacy always-on hub (iid faults from `world`, mains
     /// power) — numerically identical to the pre-environment runtime.
@@ -127,8 +138,10 @@ class HubRuntime {
   double last_hub_joules_ = 0.0;  // supervisor's window-delta baseline
   std::map<sensors::SensorId, std::unique_ptr<sensors::Sensor>> sensors_;
   std::map<sensors::SensorId, hw::Bus*> buses_;
-  std::deque<SensorStream> streams_;
-  std::deque<AppExecutor> executors_;
+  // Deques so elements stay pinned (streams/executors hand out internal
+  // pointers); spines come from Config::arena when one is supplied.
+  std::deque<SensorStream, sim::ArenaAllocator<SensorStream>> streams_;
+  std::deque<AppExecutor, sim::ArenaAllocator<AppExecutor>> executors_;
   std::map<apps::AppId, std::string> notes_;
   std::uint64_t sensor_read_errors_ = 0;
 };

@@ -1,7 +1,10 @@
 #include "core/scenario.h"
 
+#include <algorithm>
 #include <cmath>
 #include <set>
+
+#include "check/check.h"
 
 namespace iotsim::core {
 
@@ -21,28 +24,49 @@ std::size_t Scenario::fleet_size() const {
   return n;
 }
 
-std::vector<ResolvedHub> Scenario::resolved_hubs() const {
-  const env::EnvironmentConfig* scenario_env = environment ? &*environment : nullptr;
-  std::vector<ResolvedHub> resolved;
-  if (!multi_hub()) {
+FleetView::FleetView(const Scenario& sc) : sc_{&sc} {
+  if (!sc.multi_hub()) {
+    size_ = 1;
+    return;
+  }
+  // Prefix sums over the count-compressed templates: the only allocation a
+  // fleet of any size pays before its hubs are built inside shard workers.
+  first_.reserve(sc.hubs.size() + 1);
+  first_.push_back(0);
+  for (const auto& inst : sc.hubs) {
+    const std::size_t count = inst.count > 0 ? static_cast<std::size_t>(inst.count) : 0;
+    first_.push_back(first_.back() + count);
+  }
+  size_ = first_.back();
+}
+
+HubView FleetView::hub(std::size_t i) const {
+  IOTSIM_CHECK_LT(i, size_, "FleetView: hub index out of range");
+  const Scenario& sc = *sc_;
+  const env::EnvironmentConfig* scenario_env = sc.environment ? &*sc.environment : nullptr;
+  HubView view;
+  view.index = i;
+  view.name = "hub" + std::to_string(i);
+  view.seed = hub_seed(sc.seed, i);
+  if (!sc.multi_hub()) {
     // Legacy desugaring: one hub, unscoped components, the scenario's own
     // RNG seed — numerically identical to the pre-fleet runner.
-    resolved.push_back(ResolvedHub{"hub0", "", &hub, &app_ids, &world, scenario_env,
-                                   hub_seed(seed, 0)});
-    return resolved;
+    view.spec = &sc.hub;
+    view.app_ids = &sc.app_ids;
+    view.world = &sc.world;
+    view.environment = scenario_env;
+    return view;
   }
-  resolved.reserve(fleet_size());
-  for (const auto& inst : hubs) {
-    for (int c = 0; c < inst.count; ++c) {
-      const std::size_t index = resolved.size();
-      const std::string name = "hub" + std::to_string(index);
-      resolved.push_back(ResolvedHub{name, name, &inst.hub, &inst.app_ids,
-                                     inst.world ? &*inst.world : &world,
-                                     inst.environment ? &*inst.environment : scenario_env,
-                                     hub_seed(seed, index)});
-    }
-  }
-  return resolved;
+  // Template owning flat index i: the last entry of first_ that is <= i.
+  const auto it = std::upper_bound(first_.begin(), first_.end(), i);
+  const std::size_t t = static_cast<std::size_t>(it - first_.begin()) - 1;
+  const HubInstance& inst = sc.hubs[t];
+  view.component_scope = view.name;
+  view.spec = &inst.hub;
+  view.app_ids = &inst.app_ids;
+  view.world = inst.world ? &*inst.world : &sc.world;
+  view.environment = inst.environment ? &*inst.environment : scenario_env;
+  return view;
 }
 
 namespace {
@@ -194,6 +218,15 @@ std::vector<ScenarioError> Scenario::validate() const {
       errors.push_back({"network.max_backoff_exponent",
                         "must be in [1, 16] (got " +
                             std::to_string(network->max_backoff_exponent) + ")"});
+    }
+    if (network->reservation_window.is_negative()) {
+      errors.push_back({"network.reservation_window",
+                        "must be >= 0 (got " + network->reservation_window.to_string() + ")"});
+    }
+    if (network->reservation_window > sim::Duration::zero() &&
+        network->backoff != net::BackoffPolicy::kFifo) {
+      errors.push_back({"network.reservation_window",
+                        "window-quantum arbitration requires the FIFO backoff policy"});
     }
   }
 

@@ -61,10 +61,14 @@ struct HubInstance {
   int count = 1;
 };
 
-/// One concrete hub of a scenario after count-expansion of the `hubs` list —
-/// or the legacy single-hub desugaring when that list is empty. Pointers
-/// reference the Scenario they were resolved from.
-struct ResolvedHub {
+/// One concrete hub of a scenario, computed on demand from the
+/// count-compressed `hubs` list — or the legacy single-hub desugaring when
+/// that list is empty. Pointers reference the Scenario the view was built
+/// from; nothing is materialized per hub until a HubRuntime is constructed
+/// from this view inside its shard worker.
+struct HubView {
+  /// Flat index into the count-expanded fleet.
+  std::size_t index = 0;
   std::string name;  // "hub<flat index>"
   /// Accountant component scope: "" on the legacy path (components keep the
   /// historical flat names), the hub name in fleet mode ("hub0/cpu", …).
@@ -81,10 +85,36 @@ struct ResolvedHub {
   std::uint64_t seed = 0;
 };
 
-/// The seed ResolvedHub::seed carries for hub `index` of a scenario seeded
+/// The seed HubView::seed carries for hub `index` of a scenario seeded
 /// with `base`: `base` itself for index 0, `base ^ (index · golden-ratio)`
 /// beyond — distinct streams per hub, identity for the back-compat hub.
 [[nodiscard]] std::uint64_t hub_seed(std::uint64_t base, std::size_t index);
+
+struct Scenario;
+
+/// Random access into the count-expanded fleet without expanding it: an
+/// index→HubView map over the count-compressed HubInstance templates (one
+/// prefix-sum table, O(#templates) to build, O(log #templates) per lookup).
+/// A 10k-hub fleet described by three templates costs three table entries —
+/// hubs are materialized one at a time inside their shard worker, never as a
+/// fleet-sized vector. References the Scenario; keep it alive.
+class FleetView {
+ public:
+  explicit FleetView(const Scenario& sc);
+
+  /// Count-expanded fleet size (1 on the legacy single-hub path).
+  [[nodiscard]] std::size_t size() const { return size_; }
+  /// The concrete hub at flat index `i` (spec/world/env pointers reference
+  /// the Scenario; name/seed/scope are derived on the fly).
+  [[nodiscard]] HubView hub(std::size_t i) const;
+
+ private:
+  const Scenario* sc_;
+  /// first_[t] = flat index of template t's first hub; one past-the-end
+  /// sentinel. Empty on the legacy single-hub path.
+  std::vector<std::size_t> first_;
+  std::size_t size_ = 0;
+};
 
 struct Scenario {
   std::vector<apps::AppId> app_ids;
@@ -130,10 +160,12 @@ struct Scenario {
   /// Number of concrete hubs this scenario simulates (count-expanded;
   /// 1 on the legacy single-hub path).
   [[nodiscard]] std::size_t fleet_size() const;
-  /// The concrete per-hub view the runner builds from: the `hubs` list
-  /// count-expanded, or the legacy fields desugared into one unscoped hub.
-  /// Returned pointers reference *this — keep the Scenario alive.
-  [[nodiscard]] std::vector<ResolvedHub> resolved_hubs() const;
+  /// Lazy per-hub access the runner (and tests/reports) build from: the
+  /// `hubs` list viewed count-expanded, or the legacy fields desugared into
+  /// one unscoped hub — no per-hub allocation happens here. The view (and
+  /// the pointers inside each HubView) reference *this — keep the Scenario
+  /// alive.
+  [[nodiscard]] FleetView fleet() const { return FleetView{*this}; }
 
   /// Entry point of the fluent construction API.
   [[nodiscard]] static ScenarioBuilder builder();

@@ -24,21 +24,23 @@ namespace iotsim::core {
 
 namespace {
 
-HubRuntime::Config hub_config(const Scenario& scenario, const ResolvedHub& rh,
-                              net::Medium* medium) {
+HubRuntime::Config hub_config(const Scenario& scenario, const HubView& hv, net::Medium* medium,
+                              sim::Arena* arena) {
   HubRuntime::Config cfg;
-  cfg.name = rh.name;
-  cfg.component_scope = rh.component_scope;
-  cfg.spec = *rh.spec;
-  cfg.app_ids = *rh.app_ids;
-  cfg.world = *rh.world;
+  cfg.name = hv.name;
+  cfg.component_scope = hv.component_scope;
+  cfg.spec = *hv.spec;
+  cfg.app_ids = *hv.app_ids;
+  cfg.world = *hv.world;
   cfg.scheme = scenario.scheme;
   cfg.windows = scenario.windows;
   cfg.batch_flushes_per_window = scenario.batch_flushes_per_window;
   cfg.mcu_speed_factor = scenario.mcu_speed_factor;
-  cfg.seed = rh.seed;
+  cfg.seed = hv.seed;
+  cfg.hub_index = hv.index;
   cfg.medium = medium;
-  if (rh.environment != nullptr) cfg.env = *rh.environment;
+  cfg.arena = arena;
+  if (hv.environment != nullptr) cfg.env = *hv.environment;
   return cfg;
 }
 
@@ -194,15 +196,27 @@ sim::SimTime window_horizon(sim::Duration window, std::int64_t k) {
 }  // namespace
 
 int ScenarioRunner::effective_shards(const ExecPolicy& policy) const {
-  // Hubs couple through a shared access point: grant order at equal
-  // timestamps depends on global event sequence, which no partition can
-  // reproduce — the conservative window (min pending grant, the medium's
-  // next_free) degenerates to single-grant granularity, so run exactly.
-  if (scenario_.network) return 1;
+  // Hubs coupled through an event-driven (FIFO/CSMA, no reservation window)
+  // access point cannot shard: grant order at equal timestamps depends on
+  // global event sequence, which no partition can reproduce. A windowed AP
+  // batches requests per reservation window and arbitrates them in a total
+  // order independent of registration interleaving — that contract the
+  // shard barrier can honour, so those fleets keep their shards.
+  if (scenario_.network && !scenario_.network->windowed()) return 1;
   // One power trace integrates the whole fleet; keep it on one clock.
   if (scenario_.record_power_trace) return 1;
   const int fleet = std::max(1, static_cast<int>(scenario_.fleet_size()));
   return std::clamp(policy.shards, 1, fleet);
+}
+
+sim::Duration ScenarioRunner::effective_window(const ExecPolicy& policy) const {
+  // A windowed AP arbitrates exactly at reservation-window boundaries, so
+  // the shard barrier must meet there and nowhere else — any finer window
+  // would arbitrate early, any coarser one late, both visible in results.
+  if (scenario_.network && scenario_.network->windowed()) {
+    return scenario_.network->reservation_window;
+  }
+  return policy.window;
 }
 
 ScenarioResult ScenarioRunner::run() { return run(ExecPolicy{}); }
@@ -217,7 +231,7 @@ ScenarioResult ScenarioRunner::run(const ExecPolicy& policy) {
   }
   const int shards = effective_shards(policy);
   if (shards <= 1) return run_single();
-  return run_sharded(shards, policy.window);
+  return run_sharded(shards, effective_window(policy));
 }
 
 ScenarioResult ScenarioRunner::run_single() {
@@ -233,8 +247,11 @@ ScenarioResult ScenarioRunner::run_single() {
   // infinite-capacity ether otherwise (byte-identical to the pre-network
   // model — an IdealMedium acquire grants without suspending).
   std::unique_ptr<net::Medium> medium;
+  const FleetView fleet = scenario_.fleet();
   if (scenario_.network) {
-    medium = std::make_unique<net::SharedAccessPoint>(sim, *scenario_.network);
+    auto ap = std::make_unique<net::SharedAccessPoint>(sim, *scenario_.network);
+    ap->reserve_attachments(2 * fleet.size());
+    medium = std::move(ap);
   } else {
     medium = std::make_unique<net::IdealMedium>();
   }
@@ -242,9 +259,13 @@ ScenarioResult ScenarioRunner::run_single() {
   // Build every hub's hardware and topology first (all powered components
   // register with the shared ledger), then attach the trace, then spawn —
   // so the trace integral covers every component, per hub or fleet-wide.
-  std::deque<HubRuntime> hubs;  // deque: HubRuntime is pinned (internal pointers)
-  for (const ResolvedHub& rh : scenario_.resolved_hubs()) {
-    hubs.emplace_back(sim, acct, hub_config(scenario_, rh, medium.get()));
+  // Hubs are materialized one at a time from the lazy fleet view; the deque
+  // keeps each HubRuntime pinned (internal pointers) and its spine — like
+  // every hub's own container spines — comes from the run's arena.
+  std::deque<HubRuntime, sim::ArenaAllocator<HubRuntime>> hubs{
+      sim::ArenaAllocator<HubRuntime>{&arena}};
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    hubs.emplace_back(sim, acct, hub_config(scenario_, fleet.hub(i), medium.get(), &arena));
   }
 
   std::shared_ptr<trace::PowerTrace> power_trace;
@@ -299,8 +320,9 @@ ScenarioResult ScenarioRunner::run_single() {
 }
 
 ScenarioResult ScenarioRunner::run_sharded(int shards, sim::Duration window) {
-  // Each shard is a self-contained kernel: its own coroutine-frame arena,
-  // simulator, energy ledger, and (necessarily ideal) medium, driving a
+  // Each shard is a self-contained kernel: its own arena (coroutine frames
+  // AND its hubs' runtime state — a 10k-hub fleet never exists on one heap),
+  // simulator, energy ledger, and per-shard ideal medium, driving a
   // contiguous block of the fleet's hubs. Member order is destruction
   // order in reverse: hubs die before the simulator, frames before the
   // arena.
@@ -309,32 +331,61 @@ ScenarioResult ScenarioRunner::run_sharded(int shards, sim::Duration window) {
     sim::Simulator sim;
     energy::EnergyAccountant acct;
     net::IdealMedium medium;
-    std::deque<HubRuntime> hubs;
-    std::atomic<bool> finished{false};
+    std::deque<HubRuntime, sim::ArenaAllocator<HubRuntime>> hubs{
+        sim::ArenaAllocator<HubRuntime>{&arena}};
+    std::atomic<bool> failed{false};
     std::exception_ptr error;
   };
 
-  const std::vector<ResolvedHub> resolved = scenario_.resolved_hubs();
-  const std::size_t n = resolved.size();
+  const FleetView fleet_view = scenario_.fleet();
+  const std::size_t n = fleet_view.size();
   const auto s_count = static_cast<std::size_t>(shards);
   IOTSIM_CHECK_GE(n, s_count, "more shards than hubs after clamping");
+
+  // One shared access point for the whole fleet when the scenario couples
+  // hubs through one — kernel-less: request times come from each NIC's
+  // owner simulator and the barrier completion step below arbitrates every
+  // reservation-window batch while the shard workers are parked.
+  // effective_shards only kept shards > 1 for a *windowed* AP.
+  std::unique_ptr<net::SharedAccessPoint> shared_ap;
+  if (scenario_.network) {
+    IOTSIM_CHECK(scenario_.network->windowed(),
+                 "sharded run with a non-windowed access point (effective_shards bug)");
+    IOTSIM_CHECK_EQ(window.count_ns(), scenario_.network->reservation_window.count_ns(),
+                    "shard window must equal the AP reservation window");
+    shared_ap = std::make_unique<net::SharedAccessPoint>(*scenario_.network);
+    shared_ap->reserve_attachments(2 * n);
+  }
 
   std::deque<Shard> fleet(s_count);
 
   // A finite window interleaves shard execution in simulated-time lockstep:
   // every shard drains to the k-th boundary, then all arrive at the barrier
-  // before continuing. The completion step decides termination for all
-  // shards at once, so nobody can leave a barrier another shard still waits
-  // on.
+  // before continuing. The completion step runs while every worker is
+  // parked: it first arbitrates the shared AP's batched airtime requests at
+  // the boundary (scheduling resume events into shard kernels — the same
+  // grants the single-kernel run derives from its boundary system events),
+  // then decides termination for all shards at once, so nobody can leave a
+  // barrier another shard still waits on. The done check reads each shard's
+  // pending-event count *after* arbitration: a shard whose sim drained may
+  // have just been handed a resume event.
   std::atomic<bool> all_done{false};
-  auto on_window_complete = [&fleet, &all_done]() noexcept {
-    bool done = true;
-    for (const Shard& sh : fleet) done = done && sh.finished.load(std::memory_order_relaxed);
+  std::atomic<std::int64_t> round{1};
+  net::SharedAccessPoint* ap = shared_ap.get();
+  auto on_window_complete = [&fleet, &all_done, &round, ap, window]() noexcept {
+    const std::int64_t k = round.fetch_add(1, std::memory_order_relaxed);
+    if (ap != nullptr) ap->arbitrate_window(window_horizon(window, k));
+    bool done = ap == nullptr || ap->pending_requests() == 0;
+    for (const Shard& sh : fleet) {
+      done = done && (sh.failed.load(std::memory_order_relaxed) ||
+                      sh.sim.stats().pending_events == 0);
+    }
     all_done.store(done, std::memory_order_relaxed);
   };
   std::barrier barrier{static_cast<std::ptrdiff_t>(s_count), on_window_complete};
   // A non-positive window could never advance the horizon; treat it (and
-  // the Duration::max() default) as free-running.
+  // the Duration::max() default) as free-running. A shared AP always has a
+  // positive window (its reservation window, checked above).
   const bool windowed = window != sim::Duration::max() && window > sim::Duration::zero();
 
   // Exactly one worker per shard: every shard job must run concurrently
@@ -344,13 +395,22 @@ ScenarioResult ScenarioRunner::run_sharded(int shards, sim::Duration window) {
     const std::size_t begin = s * n / s_count;
     const std::size_t end = (s + 1) * n / s_count;
     Shard& shard = fleet[s];
-    pool.submit([this, &shard, &resolved, &barrier, &all_done, windowed, window, begin, end] {
+    pool.submit([this, &shard, &fleet_view, &barrier, &all_done, ap, windowed, window, begin,
+                 end] {
       bool failed = false;
       try {
         sim::ArenaScope frame_arena{shard.arena};
+        // Lazy materialization: each hub is built here, inside its shard
+        // worker, from the count-compressed scenario — runtime state lands
+        // in this shard's arena and construction parallelizes with the
+        // shard count. Slot-addressed NIC attachment (hub_index) keeps the
+        // shared AP's attachment table identical to the single-kernel run
+        // no matter how workers interleave.
+        net::Medium* medium = ap != nullptr ? static_cast<net::Medium*>(ap) : &shard.medium;
         for (std::size_t h = begin; h < end; ++h) {
           shard.hubs.emplace_back(shard.sim, shard.acct,
-                                  hub_config(scenario_, resolved[h], &shard.medium));
+                                  hub_config(scenario_, fleet_view.hub(h), medium,
+                                             &shard.arena));
         }
         for (auto& hub : shard.hubs) hub.start();
         if (!windowed) {
@@ -372,8 +432,7 @@ ScenarioResult ScenarioRunner::run_sharded(int shards, sim::Duration window) {
               failed = true;
             }
           }
-          shard.finished.store(failed || shard.sim.stats().pending_events == 0,
-                               std::memory_order_relaxed);
+          shard.failed.store(failed, std::memory_order_relaxed);
           barrier.arrive_and_wait();
           if (all_done.load(std::memory_order_relaxed)) break;
           ++k;
@@ -426,14 +485,25 @@ ScenarioResult ScenarioRunner::run_sharded(int shards, sim::Duration window) {
   result.energy = energy::EnergyReport::from_accountants(ledgers, result.span);
   {
     energy::CongestionSummary congestion;
-    congestion.modeled = false;
-    congestion.utilization = 0.0;  // == IdealMedium utilization, always
-    for (const Shard& sh : fleet) {
-      const net::MediumStats net_stats = sh.medium.stats();
-      congestion.airtime_wait += net_stats.totals.airtime_wait;
-      congestion.grants += net_stats.totals.grants;
-      congestion.retries += net_stats.totals.retries;
-      congestion.drops += net_stats.totals.drops;
+    if (shared_ap != nullptr) {
+      // Assembled exactly as run_single assembles it from its own AP.
+      const net::MediumStats net_stats = shared_ap->stats();
+      congestion.modeled = true;
+      congestion.utilization = shared_ap->utilization(span_end);
+      congestion.airtime_wait = net_stats.totals.airtime_wait;
+      congestion.grants = net_stats.totals.grants;
+      congestion.retries = net_stats.totals.retries;
+      congestion.drops = net_stats.totals.drops;
+    } else {
+      congestion.modeled = false;
+      congestion.utilization = 0.0;  // == IdealMedium utilization, always
+      for (const Shard& sh : fleet) {
+        const net::MediumStats net_stats = sh.medium.stats();
+        congestion.airtime_wait += net_stats.totals.airtime_wait;
+        congestion.grants += net_stats.totals.grants;
+        congestion.retries += net_stats.totals.retries;
+        congestion.drops += net_stats.totals.drops;
+      }
     }
     result.energy.set_congestion(congestion);
   }

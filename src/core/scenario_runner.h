@@ -8,9 +8,19 @@
 //
 // Execution shape is a separate axis (core/exec_policy.h): run() drives the
 // whole fleet from one Simulator on the calling thread; run(policy) may
-// split an uncoupled fleet into contiguous hub blocks, one Simulator and
-// energy ledger per shard on its own worker thread, merging results in
-// shard order so the output is byte-identical either way.
+// split a fleet into contiguous hub blocks, one Simulator and energy ledger
+// per shard on its own worker thread, merging results in shard order so the
+// output is byte-identical either way. Hubs are materialized lazily from
+// Scenario::fleet() inside their shard worker — each hub's runtime state
+// lives in its shard's arena, so a 10k-hub fleet never exists on one heap
+// at once and construction itself parallelizes with the shard count.
+//
+// Fleets coupled through a shared access point shard too, when the AP runs
+// in window-quantum mode (ApConfig::reservation_window > 0): the shard
+// window is forced to the reservation window, every shard drains to the
+// boundary, and the barrier completion step arbitrates the batched airtime
+// requests — the same total order the single-kernel run derives from its
+// boundary system events, hence byte-identical results.
 #pragma once
 
 #include "core/exec_policy.h"
@@ -39,8 +49,17 @@ class ScenarioRunner {
 
   /// The shard count run(policy) would actually use for this scenario:
   /// `policy.shards` clamped to the fleet size, collapsed to 1 when hubs
-  /// couple through a shared access point or a power trace is recorded.
+  /// couple through a shared access point *without* window-quantum
+  /// arbitration (ApConfig::reservation_window == 0) or a power trace is
+  /// recorded. A windowed AP is a coupling contract the shard barrier can
+  /// honour, so those fleets keep their shards.
   [[nodiscard]] int effective_shards(const ExecPolicy& policy) const;
+
+  /// The shard window run(policy) would actually use: `policy.window`,
+  /// overridden by the AP's reservation window when the scenario couples
+  /// hubs through a window-quantum access point (shards must synchronize
+  /// exactly at arbitration boundaries — no other quantum is sound).
+  [[nodiscard]] sim::Duration effective_window(const ExecPolicy& policy) const;
 
  private:
   [[nodiscard]] ScenarioResult run_single();

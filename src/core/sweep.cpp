@@ -135,7 +135,7 @@ std::string scenario_key(const Scenario& sc) {
   // the note in core/scenario.h; tests/core/test_scenario_key.cpp mutates
   // every field). A version tag guards persisted keys against layout drift.
   ByteSink s;
-  s.u64(0x696F7453696D3034ull);  // "iotSim04": adds the environment layer
+  s.u64(0x696F7453696D3035ull);  // "iotSim05": adds the AP reservation window
 
   append_app_list(s, sc.app_ids);
   s.u8(static_cast<std::uint8_t>(sc.scheme));
@@ -156,6 +156,7 @@ std::string scenario_key(const Scenario& sc) {
     s.u8(static_cast<std::uint8_t>(sc.network->backoff));
     s.dur(sc.network->backoff_slot);
     s.i32(sc.network->max_backoff_exponent);
+    s.dur(sc.network->reservation_window);
   }
 
   // --- environment (scenario-level default) ---

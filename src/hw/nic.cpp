@@ -25,6 +25,11 @@ void Nic::attach_medium(net::Medium& medium, sim::Rng backoff_rng) {
   attachment_ = medium.attach(name_, backoff_rng);
 }
 
+void Nic::attach_medium(net::Medium& medium, sim::Rng backoff_rng, std::size_t slot) {
+  medium_ = &medium;
+  attachment_ = medium.attach_at(slot, name_, backoff_rng, sim_);
+}
+
 const net::AirtimeStats* Nic::airtime_stats() const {
   return medium_ != nullptr ? &medium_->stats(attachment_) : nullptr;
 }

@@ -41,6 +41,12 @@ class Nic {
   /// so runs stay deterministic. The medium must outlive the NIC.
   void attach_medium(net::Medium& medium, sim::Rng backoff_rng);
 
+  /// Slot-addressed variant for lazily built fleets: claims `slot` on the
+  /// medium (hub i's main/MCU NICs take 2i and 2i+1) so attachment handles
+  /// do not depend on cross-shard construction order, and hands the medium
+  /// this NIC's kernel for request timestamps.
+  void attach_medium(net::Medium& medium, sim::Rng backoff_rng, std::size_t slot);
+
   /// Time on the wire for a burst of `bytes` at this NIC's own speed; a
   /// slower shared medium may stretch the actual airtime.
   [[nodiscard]] sim::Duration wire_time(std::size_t bytes) const;

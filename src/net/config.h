@@ -35,6 +35,18 @@ struct ApConfig {
   sim::Duration backoff_slot = sim::Duration::from_us(500.0);
   /// Cap on the CSMA binary-exponential range (at most 2^this slots).
   int max_backoff_exponent = 6;
+  /// Window-quantum arbitration (zero = disabled, the event-driven FIFO/CSMA
+  /// above). When positive (FIFO only), the AP batches every airtime request
+  /// made during [kQ − Q, kQ) and arbitrates the batch at the boundary kQ in
+  /// (request time, attachment, sequence) order — a total order independent
+  /// of arrival interleaving, which is what lets shared-AP fleets shard with
+  /// barriers at these boundaries byte-identically to a single-shard run.
+  sim::Duration reservation_window = sim::Duration::zero();
+
+  /// True when reservation-window (window-quantum) arbitration is active.
+  [[nodiscard]] bool windowed() const {
+    return reservation_window > sim::Duration::zero() && backoff == BackoffPolicy::kFifo;
+  }
 };
 
 }  // namespace iotsim::net

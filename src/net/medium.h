@@ -29,6 +29,10 @@
 #include "sim/random.h"
 #include "sim/sim_time.h"
 
+namespace iotsim::sim {
+class Simulator;
+}  // namespace iotsim::sim
+
 namespace iotsim::net {
 
 /// Per-attachment contention counters, accumulated across a run.
@@ -58,7 +62,7 @@ struct Grant {
 /// `next_free` doubles as the fleet executor's coupling signal: an infinite
 /// value means the medium never makes anyone wait, so hubs are independent.
 struct MediumStats {
-  std::string_view kind;        ///< "ideal" | "shared-ap-fifo" | "shared-ap-csma"
+  std::string_view kind;  ///< "ideal" | "shared-ap-fifo" | "shared-ap-csma" | "shared-ap-windowed"
   std::size_t attachments = 0;  ///< NICs attached so far
   AirtimeStats totals;          ///< sum of per-attachment counters
   sim::Duration busy_airtime;   ///< total channel-occupied time (zero if ideal)
@@ -78,6 +82,21 @@ class Medium {
   /// `backoff_rng` feeds randomized backoff — pass a seed-derived stream so
   /// results stay reproducible (see docs/architecture.md §11).
   virtual std::size_t attach(std::string name, sim::Rng backoff_rng) = 0;
+
+  /// Slot-addressed attach for lazily/concurrently built fleets: hub `i`'s
+  /// NICs claim slots 2i and 2i+1, so attachment handles are a function of
+  /// the scenario rather than of construction interleaving (handles are an
+  /// arbitration tie-break under windowed APs). `owner` is the simulator
+  /// whose clock stamps this attachment's requests — the shard kernel under
+  /// sharded execution. The default ignores the slot and appends, which is
+  /// exactly right for per-shard media (IdealMedium) where construction is
+  /// sequential within the shard.
+  virtual std::size_t attach_at(std::size_t slot, std::string name, sim::Rng backoff_rng,
+                                sim::Simulator& owner) {
+    (void)slot;
+    (void)owner;
+    return attach(std::move(name), std::move(backoff_rng));
+  }
 
   /// True if an acquire() issued now would grant without suspending. NICs
   /// use this to decide whether to enter the idle-listen state before

@@ -67,6 +67,47 @@ class Arena {
   std::size_t live_blocks_ = 0;
 };
 
+/// A std-allocator adapter over Arena, so shard-local containers (the hub
+/// runtimes themselves, their stream/executor verticals) draw node storage
+/// from the shard's arena instead of the shared global heap. Stateful: a
+/// default-constructed (or nullptr) allocator falls back to the global heap,
+/// which keeps arena-parameterised types usable outside a fleet run. The
+/// container must not outlive the arena.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+  static_assert(alignof(T) <= alignof(std::max_align_t),
+                "Arena blocks carry only fundamental alignment");
+
+  ArenaAllocator() = default;
+  explicit ArenaAllocator(Arena* arena) : arena_{arena} {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_{other.arena()} {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (arena_ != nullptr) return static_cast<T*>(arena_->allocate(n * sizeof(T)));
+    return std::allocator<T>{}.allocate(n);
+  }
+  void deallocate(T* p, std::size_t n) {
+    if (arena_ != nullptr) {
+      arena_->deallocate(p, n * sizeof(T));
+    } else {
+      std::allocator<T>{}.deallocate(p, n);
+    }
+  }
+
+  [[nodiscard]] Arena* arena() const { return arena_; }
+
+  template <typename U>
+  friend bool operator==(const ArenaAllocator& a, const ArenaAllocator<U>& b) {
+    return a.arena_ == b.arena();
+  }
+
+ private:
+  Arena* arena_ = nullptr;
+};
+
 /// RAII: installs `arena` as the current thread's frame arena for the
 /// enclosing scope. Scopes nest; the previous arena is restored on exit.
 class ArenaScope {

@@ -14,6 +14,20 @@ EventQueue::EventQueue()
 EventId EventQueue::schedule(SimTime when, Callback cb) {
   IOTSIM_CHECK_GE(when, SimTime::origin(), "event scheduled before simulation start");
   const EventId id = next_id_++;
+  IOTSIM_CHECK_LT(id, kSystemIdFloor, "regular event ids exhausted");
+  insert(when, id, std::move(cb));
+  return id;
+}
+
+EventId EventQueue::schedule_last(SimTime when, Callback cb) {
+  IOTSIM_CHECK_GE(when, SimTime::origin(), "event scheduled before simulation start");
+  const EventId id = next_system_id_--;
+  IOTSIM_CHECK_GE(id, kSystemIdFloor, "system event ids exhausted");
+  insert(when, id, std::move(cb));
+  return id;
+}
+
+void EventQueue::insert(SimTime when, EventId id, Callback cb) {
   impl_->push(SchedEntry{when, id});
   pending_.emplace(id, std::move(cb));
   ++live_count_;
@@ -25,7 +39,6 @@ EventId EventQueue::schedule(SimTime when, Callback cb) {
       impl_->kind() == SchedulerKind::kBinaryHeap) {
     migrate_to(SchedulerKind::kCalendar);
   }
-  return id;
 }
 
 void EventQueue::cancel(EventId id) {

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <memory_resource>
 #include <unordered_map>
@@ -32,11 +33,23 @@ class EventQueue {
   /// the calendar queue (one-way; see force_scheduler for tests).
   static constexpr std::size_t kCalendarSwitchThreshold = 4096;
 
+  /// Ids at or above this floor belong to system events (schedule_last).
+  /// Regular ids count up from 1 and can never reach it.
+  static constexpr EventId kSystemIdFloor = EventId{1} << 63;
+
   EventQueue();
 
   /// Schedules `cb` to run at absolute time `when`. Returns a handle that can
   /// be passed to `cancel`.
   EventId schedule(SimTime when, Callback cb);
+
+  /// Schedules a *system* event at `when` that fires after every regular
+  /// event with the same timestamp (ids descend from 2^64−1, and the FIFO
+  /// tie-break is ascending id). Kernel plumbing — e.g. the windowed
+  /// access-point arbitration trigger — uses this so bookkeeping never
+  /// interleaves with model events; Simulator excludes system events from
+  /// its events_dispatched counter for the same reason.
+  EventId schedule_last(SimTime when, Callback cb);
 
   /// Marks a still-pending event as cancelled; it is dropped lazily.
   /// Cancelling an already-fired or unknown id is a harmless no-op.
@@ -67,6 +80,8 @@ class EventQueue {
   void force_scheduler(SchedulerKind kind);
 
  private:
+  /// Shared tail of schedule/schedule_last: entry, callback, migration.
+  void insert(SimTime when, EventId id, Callback cb);
   /// Pops scheduler entries whose callback was cancelled.
   void drop_cancelled_front();
   /// Moves every pending entry onto a scheduler of `kind`.
@@ -80,6 +95,7 @@ class EventQueue {
   std::pmr::unsynchronized_pool_resource node_pool_;
   std::pmr::unordered_map<EventId, Callback> pending_;
   std::uint64_t next_id_ = 1;
+  std::uint64_t next_system_id_ = std::numeric_limits<std::uint64_t>::max();
   std::size_t live_count_ = 0;
   std::size_t peak_count_ = 0;
   // High-water mark of popped event times; pop() checks monotonicity

@@ -47,6 +47,11 @@ class Simulator {
   EventId at(SimTime t, EventQueue::Callback cb);
   /// Schedules a raw callback `d` from now.
   EventId after(Duration d, EventQueue::Callback cb);
+  /// Schedules kernel bookkeeping at `t` that fires after every regular
+  /// event sharing that timestamp and is excluded from events_dispatched —
+  /// so a run driven by system events (e.g. windowed-AP arbitration) stays
+  /// counter-identical to one driven externally at barriers.
+  EventId at_system(SimTime t, EventQueue::Callback cb);
   void cancel(EventId id) { queue_.cancel(id); }
 
   /// Takes ownership of a top-level process and schedules its start at now().

@@ -23,14 +23,16 @@ TEST(FleetResolve, LegacyScenarioDesugarsToOneUnscopedHub) {
   EXPECT_FALSE(sc.multi_hub());
   EXPECT_EQ(sc.fleet_size(), 1u);
 
-  const auto hubs = sc.resolved_hubs();
-  ASSERT_EQ(hubs.size(), 1u);
-  EXPECT_EQ(hubs[0].name, "hub0");
-  EXPECT_EQ(hubs[0].component_scope, "");  // historical flat component names
-  EXPECT_EQ(hubs[0].seed, sc.seed);
-  EXPECT_EQ(hubs[0].app_ids, &sc.app_ids);
-  EXPECT_EQ(hubs[0].world, &sc.world);
-  EXPECT_EQ(hubs[0].spec, &sc.hub);
+  const FleetView fleet = sc.fleet();
+  ASSERT_EQ(fleet.size(), 1u);
+  const HubView hub = fleet.hub(0);
+  EXPECT_EQ(hub.index, 0u);
+  EXPECT_EQ(hub.name, "hub0");
+  EXPECT_EQ(hub.component_scope, "");  // historical flat component names
+  EXPECT_EQ(hub.seed, sc.seed);
+  EXPECT_EQ(hub.app_ids, &sc.app_ids);
+  EXPECT_EQ(hub.world, &sc.world);
+  EXPECT_EQ(hub.spec, &sc.hub);
 }
 
 TEST(FleetResolve, CountExpansionNamesHubsByFlatIndex) {
@@ -41,19 +43,24 @@ TEST(FleetResolve, CountExpansionNamesHubsByFlatIndex) {
   EXPECT_TRUE(sc.multi_hub());
   EXPECT_EQ(sc.fleet_size(), 3u);
 
-  const auto hubs = sc.resolved_hubs();
-  ASSERT_EQ(hubs.size(), 3u);
-  EXPECT_EQ(hubs[0].name, "hub0");
-  EXPECT_EQ(hubs[1].name, "hub1");
-  EXPECT_EQ(hubs[2].name, "hub2");
+  const FleetView fleet = sc.fleet();
+  ASSERT_EQ(fleet.size(), 3u);
+  const HubView h0 = fleet.hub(0);
+  const HubView h1 = fleet.hub(1);
+  const HubView h2 = fleet.hub(2);
+  EXPECT_EQ(h0.name, "hub0");
+  EXPECT_EQ(h1.name, "hub1");
+  EXPECT_EQ(h2.name, "hub2");
+  EXPECT_EQ(h2.index, 2u);
   // Fleet hubs scope their accountant components by name.
-  EXPECT_EQ(hubs[1].component_scope, "hub1");
-  // The two count-expanded copies share the template's spec/app list...
-  EXPECT_EQ(hubs[0].spec, hubs[1].spec);
-  EXPECT_EQ(hubs[0].app_ids, hubs[1].app_ids);
+  EXPECT_EQ(h1.component_scope, "hub1");
+  // The two count-expanded copies share the template's spec/app list (the
+  // view points into the count-compressed scenario; nothing is copied)...
+  EXPECT_EQ(h0.spec, h1.spec);
+  EXPECT_EQ(h0.app_ids, h1.app_ids);
   // ...but draw from distinct RNG streams.
-  EXPECT_NE(hubs[0].seed, hubs[1].seed);
-  EXPECT_NE(hubs[1].seed, hubs[2].seed);
+  EXPECT_NE(h0.seed, h1.seed);
+  EXPECT_NE(h1.seed, h2.seed);
 }
 
 TEST(FleetResolve, HubSeedIsIdentityAtIndexZero) {
@@ -72,10 +79,10 @@ TEST(FleetResolve, PerHubWorldOverrideAppliesOnlyToItsHub) {
   b.app_ids = {AppId::kA5Blynk};
 
   const auto sc = Scenario::builder().add_hub(a).add_hub(b).build();
-  const auto hubs = sc.resolved_hubs();
-  ASSERT_EQ(hubs.size(), 2u);
-  EXPECT_DOUBLE_EQ(hubs[0].world->sensor_fault_prob, 0.5);
-  EXPECT_EQ(hubs[1].world, &sc.world);  // falls back to the scenario world
+  const FleetView fleet = sc.fleet();
+  ASSERT_EQ(fleet.size(), 2u);
+  EXPECT_DOUBLE_EQ(fleet.hub(0).world->sensor_fault_prob, 0.5);
+  EXPECT_EQ(fleet.hub(1).world, &sc.world);  // falls back to the scenario world
 }
 
 TEST(FleetValidate, PerHubErrorsNameTheInstance) {

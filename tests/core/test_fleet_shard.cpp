@@ -28,7 +28,8 @@ Scenario ideal_fleet(int hubs, int windows = 2) {
   return builder.build();
 }
 
-Scenario contended_fleet(int hubs, net::BackoffPolicy backoff) {
+Scenario contended_fleet(int hubs, net::BackoffPolicy backoff,
+                         sim::Duration reservation_window = sim::Duration::zero()) {
   auto builder = Scenario::builder()
                      .scheme(Scheme::kBcom)
                      .windows(2);
@@ -38,6 +39,7 @@ Scenario contended_fleet(int hubs, net::BackoffPolicy backoff) {
   net::ApConfig ap;
   ap.bytes_per_second = 6.25e5;
   ap.backoff = backoff;
+  ap.reservation_window = reservation_window;
   builder.network(ap);
   return builder.build();
 }
@@ -77,6 +79,46 @@ TEST(FleetShard, SharedAccessPointCollapsesToExactSingleShard) {
           << "backoff=" << static_cast<int>(backoff) << " shards=" << shards;
     }
   }
+}
+
+TEST(FleetShard, WindowedAccessPointShardsByteIdentically) {
+  // A reservation window promotes the AP coupling into a window-quantum
+  // contract: the fleet shards with barriers at window boundaries and must
+  // still serialize byte-for-byte like the single-shard run.
+  const Scenario sc = contended_fleet(6, net::BackoffPolicy::kFifo,
+                                      sim::Duration::ms(10));
+  ScenarioRunner runner{sc};
+  EXPECT_EQ(runner.effective_shards(ExecPolicy{.shards = 4}), 4);
+  const std::string single = run_json(sc, ExecPolicy{});
+  for (int shards : {2, 3, 8}) {
+    EXPECT_EQ(single, run_json(sc, ExecPolicy{.shards = shards}))
+        << "shards=" << shards;
+  }
+}
+
+TEST(FleetShard, WindowedAccessPointReportsShardsInKernelStats) {
+  const Scenario sc = contended_fleet(4, net::BackoffPolicy::kFifo,
+                                      sim::Duration::ms(5));
+  const auto sharded = run_scenario(sc, ExecPolicy{.shards = 2});
+  EXPECT_EQ(sharded.energy.kernel().shards, 2);
+  EXPECT_GT(sharded.energy.kernel().events_dispatched, 0u);
+}
+
+TEST(FleetShard, EffectiveWindowIsForcedToTheReservationWindow) {
+  const auto rw = sim::Duration::ms(10);
+  ScenarioRunner windowed{contended_fleet(4, net::BackoffPolicy::kFifo, rw)};
+  // Whatever quantum the policy asks for, a windowed AP pins the shard
+  // barrier to its reservation window — coarser or finer would either skip
+  // or split arbitration boundaries.
+  EXPECT_EQ(windowed.effective_window(ExecPolicy{}).count_ns(), rw.count_ns());
+  EXPECT_EQ(windowed.effective_window(ExecPolicy{.window = sim::Duration::ms(250)}).count_ns(),
+            rw.count_ns());
+  EXPECT_EQ(windowed.effective_window(ExecPolicy{.window = sim::Duration::ms(1)}).count_ns(),
+            rw.count_ns());
+  // Without a windowed AP the policy's own quantum stands.
+  ScenarioRunner ideal{ideal_fleet(4)};
+  EXPECT_EQ(ideal.effective_window(ExecPolicy{.window = sim::Duration::ms(250)}).count_ns(),
+            sim::Duration::ms(250).count_ns());
 }
 
 TEST(FleetShard, EffectiveShardsClampsToFleetAndPolicy) {

@@ -301,6 +301,7 @@ Scenario networked_scenario() {
   ap.backoff = net::BackoffPolicy::kCsma;
   ap.backoff_slot = sim::Duration::from_us(250.0);
   ap.max_backoff_exponent = 5;
+  ap.reservation_window = sim::Duration::ms(10);
   sc.network = ap;
   return sc;
 }
@@ -317,6 +318,8 @@ TEST(ScenarioKey, NetworkConfigFieldsAllFeedTheKey) {
        [](Scenario& sc) { sc.network->backoff_slot = sc.network->backoff_slot * 2; }},
       {"network.max_backoff_exponent",
        [](Scenario& sc) { sc.network->max_backoff_exponent += 1; }},
+      {"network.reservation_window",
+       [](Scenario& sc) { sc.network->reservation_window = sc.network->reservation_window * 2; }},
   };
   expect_all_change_key(networked_scenario(), mutations, "ApConfig");
 }

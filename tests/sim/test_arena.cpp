@@ -92,6 +92,39 @@ TEST(FrameAlloc, UsesScopeArenaAndOutlivesScope) {
   EXPECT_EQ(other.live_blocks(), 0u);
 }
 
+TEST(ArenaAllocator, ContainersDrawFromTheArena) {
+  Arena a;
+  {
+    std::deque<int, ArenaAllocator<int>> d{ArenaAllocator<int>{&a}};
+    for (int i = 0; i < 1000; ++i) d.push_back(i);
+    EXPECT_GT(a.live_blocks(), 0u);
+    EXPECT_EQ(d.front(), 0);
+    EXPECT_EQ(d.back(), 999);
+  }
+  // Container destruction returns every spine block to the arena.
+  EXPECT_EQ(a.live_blocks(), 0u);
+}
+
+TEST(ArenaAllocator, NullArenaFallsBackToTheGlobalHeap) {
+  Arena a;
+  {
+    std::deque<int, ArenaAllocator<int>> d{ArenaAllocator<int>{}};
+    for (int i = 0; i < 100; ++i) d.push_back(i);
+    EXPECT_EQ(a.live_blocks(), 0u);  // nothing routed into any arena
+    EXPECT_EQ(d.size(), 100u);
+  }
+}
+
+TEST(ArenaAllocator, EqualityFollowsTheArenaPointer) {
+  Arena a, b;
+  const ArenaAllocator<int> ia{&a};
+  const ArenaAllocator<double> da{&a};
+  const ArenaAllocator<int> ib{&b};
+  EXPECT_TRUE(ia == da);  // rebind to another T, same arena
+  EXPECT_FALSE(ia == ib);
+  EXPECT_EQ(ArenaAllocator<int>{}.arena(), nullptr);
+}
+
 TEST(FrameAlloc, CoroutineFramesComeFromTheScopeArena) {
   Arena a;
   int ran = 0;

@@ -76,6 +76,82 @@ TEST(EventQueue, ClearEmptiesQueue) {
   EXPECT_EQ(q.size(), 0u);
 }
 
+TEST(EventQueue, MigratesToCalendarExactlyAtThreshold) {
+  EventQueue q;
+  // One below the threshold: still the binary heap.
+  for (std::size_t i = 0; i + 1 < EventQueue::kCalendarSwitchThreshold; ++i) {
+    q.schedule(SimTime::from_ns(static_cast<std::int64_t>(i % 97)), [] {});
+  }
+  ASSERT_EQ(q.size(), EventQueue::kCalendarSwitchThreshold - 1);
+  EXPECT_EQ(q.scheduler_kind(), SchedulerKind::kBinaryHeap);
+  // The event that reaches the threshold flips the scheduler.
+  q.schedule(SimTime::from_ns(3), [] {});
+  EXPECT_EQ(q.size(), EventQueue::kCalendarSwitchThreshold);
+  EXPECT_EQ(q.scheduler_kind(), SchedulerKind::kCalendar);
+}
+
+TEST(EventQueue, CalendarMigrationIsOneWayAndOrderPreserving) {
+  EventQueue q;
+  std::vector<std::int64_t> popped;
+  for (std::size_t i = 0; i < EventQueue::kCalendarSwitchThreshold + 32; ++i) {
+    const auto t = static_cast<std::int64_t>((i * 31) % 257);
+    q.schedule(SimTime::from_ns(t), [&popped, t] { popped.push_back(t); });
+  }
+  EXPECT_EQ(q.scheduler_kind(), SchedulerKind::kCalendar);
+  // Draining below the threshold must not migrate back.
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(q.scheduler_kind(), SchedulerKind::kCalendar);
+  ASSERT_EQ(popped.size(), EventQueue::kCalendarSwitchThreshold + 32);
+  for (std::size_t i = 1; i < popped.size(); ++i) EXPECT_LE(popped[i - 1], popped[i]);
+}
+
+TEST(EventQueue, PinnedSchedulerNeverAutoMigrates) {
+  EventQueue q;
+  q.force_scheduler(SchedulerKind::kBinaryHeap);
+  for (std::size_t i = 0; i < EventQueue::kCalendarSwitchThreshold + 8; ++i) {
+    q.schedule(SimTime::from_ns(1), [] {});
+  }
+  EXPECT_EQ(q.scheduler_kind(), SchedulerKind::kBinaryHeap);
+}
+
+TEST(EventQueue, SystemEventFiresAfterRegularEventsAtSameTime) {
+  EventQueue q;
+  std::vector<int> order;
+  const auto t = SimTime::from_ns(40);
+  q.schedule(t, [&] { order.push_back(1); });
+  // Registered *before* the later regular events, yet fires after them.
+  q.schedule_last(t, [&] { order.push_back(99); });
+  q.schedule(t, [&] { order.push_back(2); });
+  q.schedule(SimTime::from_ns(50), [&] { order.push_back(3); });
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 99, 3}));
+}
+
+TEST(EventQueue, SystemEventsKeepRegistrationOrderAmongThemselves) {
+  EventQueue q;
+  std::vector<int> order;
+  const auto t = SimTime::from_ns(7);
+  q.schedule_last(t, [&] { order.push_back(10); });
+  q.schedule_last(t, [&] { order.push_back(11); });
+  q.schedule(t, [&] { order.push_back(0); });
+  while (!q.empty()) q.pop().callback();
+  // Ids descend from 2^64−1 and the tie-break is ascending id, so same-time
+  // system events pop in *reverse* registration order. Documented, not
+  // relied on: the kernel arms at most one system event per timestamp.
+  EXPECT_EQ(order, (std::vector<int>{0, 11, 10}));
+}
+
+TEST(EventQueue, SystemEventIdsSitAboveTheFloorAndAreCancellable) {
+  EventQueue q;
+  int fired = 0;
+  const EventId id = q.schedule_last(SimTime::from_ns(1), [&] { ++fired; });
+  EXPECT_GE(id, EventQueue::kSystemIdFloor);
+  EXPECT_LT(q.schedule(SimTime::from_ns(1), [] {}), EventQueue::kSystemIdFloor);
+  q.cancel(id);
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(fired, 0);
+}
+
 TEST(EventQueue, ManyEventsStressOrder) {
   EventQueue q;
   std::vector<std::int64_t> popped;

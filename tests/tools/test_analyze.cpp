@@ -234,19 +234,25 @@ std::string drop_hash_lines(const std::string& content, const std::string& field
 
 TEST(AnalyzeHashRealTree, DeletingAHashedFieldLineFails) {
   const std::string sweep = read_file(std::filesystem::path{IOTSIM_SRC_DIR} / "core/sweep.cpp");
-  for (const std::string field : {"sc.scheme", "sc.windows", "sc.mcu_speed_factor"}) {
+  struct Probe {
+    const char* ref;   // the expression on the append line
+    const char* name;  // the struct field the pass must report
+  };
+  for (const Probe probe : {Probe{"sc.scheme", "scheme"},
+                            Probe{"sc.windows", "windows"},
+                            Probe{"sc.mcu_speed_factor", "mcu_speed_factor"},
+                            Probe{"sc.network->reservation_window", "reservation_window"}}) {
     std::vector<FileUnit> units;
     for (const auto& p : real_tree_files()) {
       if (p.filename() == "sweep.cpp") {
-        units.push_back(make_unit(p.generic_string(), drop_hash_lines(sweep, field)));
+        units.push_back(make_unit(p.generic_string(), drop_hash_lines(sweep, probe.ref)));
       } else {
         units.push_back(unit_of(p));
       }
     }
     const auto findings = run_rule(units, kRuleHashCoverage);
-    ASSERT_EQ(findings.size(), 1u) << "deleting " << field << " went undetected";
-    const std::string name = field.substr(3);  // strip "sc."
-    EXPECT_NE(findings[0].detail.find("'" + name + "'"), std::string::npos)
+    ASSERT_EQ(findings.size(), 1u) << "deleting " << probe.ref << " went undetected";
+    EXPECT_NE(findings[0].detail.find(std::string{"'"} + probe.name + "'"), std::string::npos)
         << findings[0].detail;
   }
 }
