@@ -3,10 +3,13 @@
 // its scenarios through.
 //
 // Every bench accepts the same flags (parse_options, consistent --help):
-//   --jobs=N     worker threads for the scenario sweep (default: all cores)
-//   --windows=K  QoS windows per scenario (default: bench-specific)
-//   --hubs=N     fleet size for fleet benches (others ignore it)
-//   --json=PATH  write the standard bench JSON record to PATH
+//   --jobs=N       worker threads for the scenario sweep (default: all cores)
+//   --windows=K    QoS windows per scenario (default: bench-specific)
+//   --hubs=N       fleet size for fleet benches (others ignore it)
+//   --json=PATH    write the standard bench JSON record to PATH
+//   --cache-dir=P  persistent result cache directory (cache::ResultCache);
+//                  a warm re-run serves every scenario from disk and
+//                  executes nothing
 // Numbers are bit-identical at any --jobs value: scenarios are seeded by
 // content and collected in order (see core/sweep.h).
 //
@@ -14,9 +17,12 @@
 // same shape for every fig*/ablate*/fleet* target:
 //   {"bench": ..., "jobs": N, "windows": K, "hubs": N,
 //    "wall_ms": ..., "setup_ms": ..., "sim_ms": ..., "peak_rss_bytes": ...,
-//    "scenarios_executed": N, "cache_hits": N,
+//    "scenarios_executed": N, "cache_hits": N, "cache_dir": "...",
 //    "events_dispatched": N, "events_per_sec": ...,
-//    "extra": {bench-specific numbers recorded via Session::record}}
+//    "extra": {"disk_hits": N, "disk_stores": N, "cache_hit_rate": ...,
+//              plus bench-specific numbers recorded via Session::record}}
+// disk_hits/disk_stores count persistent-cache traffic (0 without
+// --cache-dir); cache_hit_rate = (cache_hits + disk_hits) / scheduled.
 // sim_ms is the time spent inside scenario execution (Session::run*/
 // prefetch, plus anything a bench times itself and reports via add_sim_ms);
 // setup_ms = wall_ms − sim_ms is everything else: scenario construction,
@@ -78,6 +84,7 @@ struct Options {
   int windows = kDefaultWindows;
   int hubs = 0;  // <= 0 ⇒ bench default; only fleet benches consume it
   std::string json_path;   // non-empty ⇒ write the standard bench JSON there
+  std::string cache_dir;   // non-empty ⇒ persistent result cache directory
   std::string bench_name;  // basename(argv[0]), set by parse_options
 
   /// Bench-default helper: everything default except the window count.
@@ -105,11 +112,13 @@ inline Options parse_options(int argc, char** argv, Options defaults = {}) {
   };
   auto usage = [&](int code) {
     std::cerr << "usage: " << (argc > 0 ? argv[0] : "bench")
-              << " [--jobs=N] [--windows=K] [--hubs=N] [--json=PATH]\n"
-              << "  --jobs=N     sweep worker threads (default: all cores)\n"
-              << "  --windows=K  QoS windows per scenario\n"
-              << "  --hubs=N     fleet size (fleet benches only)\n"
-              << "  --json=PATH  write the standard bench JSON record\n";
+              << " [--jobs=N] [--windows=K] [--hubs=N] [--json=PATH]"
+                 " [--cache-dir=PATH]\n"
+              << "  --jobs=N        sweep worker threads (default: all cores)\n"
+              << "  --windows=K     QoS windows per scenario\n"
+              << "  --hubs=N        fleet size (fleet benches only)\n"
+              << "  --json=PATH     write the standard bench JSON record\n"
+              << "  --cache-dir=P   persistent result cache directory\n";
     std::exit(code);
   };
   for (int i = 1; i < argc; ++i) {
@@ -124,6 +133,10 @@ inline Options parse_options(int argc, char** argv, Options defaults = {}) {
       o.json_path = arg.substr(7);
     } else if (arg == "--json" && i + 1 < argc) {
       o.json_path = argv[++i];
+    } else if (arg.rfind("--cache-dir=", 0) == 0) {
+      o.cache_dir = arg.substr(12);
+    } else if (arg == "--cache-dir" && i + 1 < argc) {
+      o.cache_dir = argv[++i];
     } else {
       usage(arg == "--help" || arg == "-h" ? 0 : 2);
     }
@@ -143,15 +156,17 @@ class Session {
  public:
   explicit Session(Options opts)
       : opts_{std::move(opts)},
-        sweep_{core::SweepOptions{.jobs = opts_.jobs, .memoize = true}},
+        sweep_{core::SweepOptions{
+            .jobs = opts_.jobs, .memoize = true, .cache_dir = opts_.cache_dir}},
         started_{std::chrono::steady_clock::now()} {}
 
   ~Session() {
     // Diagnostics go to stderr so table/CSV output on stdout stays
-    // byte-identical across --jobs values.
+    // byte-identical across --jobs values (and across cold/warm cache runs).
     const auto& s = sweep_.stats();
     std::cerr << "[sweep] jobs=" << sweep_.jobs() << " scenarios=" << s.scheduled
-              << " executed=" << s.executed << " cache-hits=" << s.cache_hits << '\n';
+              << " executed=" << s.executed << " cache-hits=" << s.cache_hits
+              << " disk-hits=" << s.disk_hits << " disk-stores=" << s.disk_stores << '\n';
     if (!opts_.json_path.empty()) write_json();
   }
 
@@ -195,11 +210,21 @@ class Session {
     v["peak_rss_bytes"] = Value{static_cast<double>(peak_rss_bytes())};
     v["scenarios_executed"] = Value{static_cast<double>(s.executed)};
     v["cache_hits"] = Value{static_cast<double>(s.cache_hits)};
+    v["cache_dir"] = Value{opts_.cache_dir};
     v["events_dispatched"] = Value{static_cast<double>(s.events_dispatched)};
     v["events_per_sec"] =
         Value{wall_ms > 0.0 ? static_cast<double>(s.events_dispatched) / (wall_ms / 1e3)
                             : 0.0};
     Value extra;
+    // The persistent tier's traffic is part of every bench's record, so the
+    // cache's effect shows up in the recorded perf trajectory.
+    extra["disk_hits"] = Value{static_cast<double>(s.disk_hits)};
+    extra["disk_stores"] = Value{static_cast<double>(s.disk_stores)};
+    extra["cache_hit_rate"] =
+        Value{s.scheduled > 0
+                  ? static_cast<double>(s.cache_hits + s.disk_hits) /
+                        static_cast<double>(s.scheduled)
+                  : 0.0};
     for (const auto& [key, value] : extra_) extra[key] = Value{value};
     v["extra"] = std::move(extra);
 

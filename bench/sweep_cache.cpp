@@ -1,0 +1,164 @@
+// Persistent sweep cache — the cold-vs-warm performance envelope of
+// cache::ResultCache under the fig10-shaped workload (ten lightweight apps
+// × Baseline/Batching/COM = 30 distinct scenarios).
+//
+// Phases:
+//  1. cold  — a fresh cache directory is populated by a full sweep; every
+//     scenario executes and is persisted.
+//  2. warm  — a brand-new SweepRunner (empty in-memory memo, same cache
+//     dir) replays the sweep; every scenario must be a disk hit, executing
+//     nothing, and each result must serialize byte-identical to cold.
+//  3. query replay — single-scenario queries in scrambled (deterministic)
+//     order, each through its own fresh runner: the scenario-server shape,
+//     where a process answers one query from a warm disk cache. Reports
+//     mean and p99 per-query latency.
+//
+// JSON extra{}: cold_wall_ms, warm_wall_ms, cold_warm_speedup,
+// warm_hit_rate, warm_byte_identical, query_count, query_mean_ms,
+// query_p99_ms (plus the standard disk_hits/disk_stores fields).
+//
+// The cache lives in ./<bench>.cachedir unless --cache-dir overrides it;
+// either way the bench WIPES the directory first so the cold phase is
+// honestly cold. The exit code reflects correctness only (warm executed 0,
+// full hit rate, byte identity) — speed is recorded, CI asserts on the
+// JSON.
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+
+#include "bench_util.h"
+#include "cache/result_cache.h"
+#include "core/result_json.h"
+
+using namespace iotsim;
+
+namespace {
+
+std::vector<core::Scenario> workload(const bench::Session& session) {
+  const core::Scheme schemes[] = {core::Scheme::kBaseline, core::Scheme::kBatching,
+                                  core::Scheme::kCom};
+  std::vector<core::Scenario> sweep;
+  for (auto id : apps::kLightweightApps) {
+    for (auto scheme : schemes) sweep.push_back(session.scenario({id}, scheme));
+  }
+  return sweep;
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Session session{bench::parse_options(argc, argv, bench::Options::with_windows(2))};
+  std::cout << "=== Sweep cache: cold vs warm over the fig10 workload ===\n\n";
+
+  const std::string cache_dir = session.options().cache_dir.empty()
+                                    ? session.options().bench_name + ".cachedir"
+                                    : session.options().cache_dir;
+  std::filesystem::remove_all(cache_dir);
+
+  const std::vector<core::Scenario> sweep = workload(session);
+  const auto n = sweep.size();
+  bool ok = true;
+
+  // --- cold: execute everything, populate the disk tier -----------------
+  std::vector<std::string> cold_json;
+  double cold_ms = 0.0;
+  {
+    core::SweepRunner runner{core::SweepOptions{.jobs = session.options().jobs,
+                                                .cache_dir = cache_dir}};
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto results = runner.run(sweep);
+    cold_ms = ms_since(t0);
+    session.add_sim_ms(cold_ms);
+    cold_json.reserve(results.size());
+    for (const auto& r : results) cold_json.push_back(core::to_json_text(r));
+    const auto& s = runner.stats();
+    if (s.executed != n || s.disk_stores != n) {
+      std::cerr << "COLD PHASE VIOLATION: executed " << s.executed << ", stored "
+                << s.disk_stores << " (want " << n << " each)\n";
+      ok = false;
+    }
+  }
+
+  // --- warm: a fresh runner must serve the whole sweep from disk --------
+  double warm_ms = 0.0;
+  std::uint64_t warm_hits = 0;
+  bool byte_identical = true;
+  {
+    core::SweepRunner runner{core::SweepOptions{.jobs = session.options().jobs,
+                                                .cache_dir = cache_dir}};
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto results = runner.run(sweep);
+    warm_ms = ms_since(t0);
+    session.add_sim_ms(warm_ms);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (core::to_json_text(results[i]) != cold_json[i]) byte_identical = false;
+    }
+    const auto& s = runner.stats();
+    warm_hits = s.disk_hits;
+    if (s.executed != 0 || s.disk_hits != n) {
+      std::cerr << "WARM PHASE VIOLATION: executed " << s.executed << ", disk hits "
+                << s.disk_hits << " (want 0 and " << n << ")\n";
+      ok = false;
+    }
+    if (!byte_identical) std::cerr << "WARM PHASE VIOLATION: results diverged from cold\n";
+  }
+
+  // --- query replay: one fresh runner per query, scrambled order --------
+  // 3 passes over the workload, visiting indices in a fixed pseudo-shuffle
+  // (stride 17 is coprime to 30) — deterministic, but never in sweep order.
+  std::vector<double> query_ms;
+  {
+    const std::size_t queries = 3 * n;
+    query_ms.reserve(queries);
+    for (std::size_t q = 0; q < queries; ++q) {
+      const std::size_t idx = (q * 17 + 5) % n;
+      core::SweepRunner runner{core::SweepOptions{.jobs = 1, .cache_dir = cache_dir}};
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto r = runner.run_one(sweep[idx]);
+      query_ms.push_back(ms_since(t0));
+      session.add_sim_ms(query_ms.back());
+      if (runner.stats().disk_hits != 1 || !r.ok()) {
+        std::cerr << "QUERY REPLAY VIOLATION at query " << q << "\n";
+        ok = false;
+      }
+    }
+  }
+  std::vector<double> sorted = query_ms;
+  std::sort(sorted.begin(), sorted.end());
+  double mean_ms = 0.0;
+  for (const double ms : query_ms) mean_ms += ms;
+  mean_ms /= static_cast<double>(query_ms.size());
+  const auto rank =
+      static_cast<std::size_t>(std::max<double>(1.0, 0.99 * static_cast<double>(sorted.size())));
+  const double p99_ms = sorted[rank - 1];
+
+  const double speedup = warm_ms > 0.0 ? cold_ms / warm_ms : 0.0;
+  const double hit_rate = static_cast<double>(warm_hits) / static_cast<double>(n);
+
+  trace::TablePrinter t{{"Phase", "Scenarios", "Wall (ms)", "Executed", "Disk hits"}};
+  using TP = trace::TablePrinter;
+  t.add_row({"cold", std::to_string(n), TP::num(cold_ms, 5), std::to_string(n), "0"});
+  t.add_row({"warm", std::to_string(n), TP::num(warm_ms, 5), "0", std::to_string(warm_hits)});
+  std::cout << t.render() << '\n';
+  std::cout << "cold/warm speedup: " << TP::num(speedup, 4) << "x, warm hit rate "
+            << TP::num(hit_rate * 100.0, 4) << "%, byte-identical: "
+            << (byte_identical ? "yes" : "NO") << '\n';
+  std::cout << "query replay (" << query_ms.size() << " queries, fresh runner each): mean "
+            << TP::num(mean_ms, 4) << " ms, p99 " << TP::num(p99_ms, 4) << " ms\n";
+
+  session.record("cold_wall_ms", cold_ms);
+  session.record("warm_wall_ms", warm_ms);
+  session.record("cold_warm_speedup", speedup);
+  session.record("warm_hit_rate", hit_rate);
+  session.record("warm_byte_identical", byte_identical ? 1.0 : 0.0);
+  session.record("query_count", static_cast<double>(query_ms.size()));
+  session.record("query_mean_ms", mean_ms);
+  session.record("query_p99_ms", p99_ms);
+
+  return ok && byte_identical ? 0 : 1;
+}

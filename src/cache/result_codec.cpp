@@ -1,0 +1,444 @@
+// ScenarioResult <-> bytes. Every encode line that appends a result field
+// is written `w.<primitive>(<object>.<field>)` so the analyzer's
+// codec-coverage pass (and its field-deletion test) can reason about —
+// and delete — individual field lines. Decode mirrors encode exactly; the
+// round-trip contract is bit-identity, proven in tests/cache/.
+#include "cache/result_codec.h"
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cache/binary_io.h"
+#include "codecs/util/checksum.h"
+
+namespace iotsim::cache {
+
+/// The only code outside energy::EnergyReport / trace::PowerTrace that
+/// touches their private state (both class definitions befriend it):
+/// cached reports and traces must reconstruct bit-identically, including
+/// fields no public mutator exposes.
+class ResultCodec {
+ public:
+  static void encode_report(ByteWriter& w, const energy::EnergyReport& e) {
+    for (std::size_t i = 0; i < energy::kRoutineCount; ++i) w.f64(e.routine_j_[i]);
+    for (std::size_t i = 0; i < energy::kRoutineCount; ++i) w.dur(e.busy_[i]);
+    w.size(e.component_j_.size());
+    for (const auto& [name, joules] : e.component_j_) {
+      w.str(name);
+      for (std::size_t i = 0; i < energy::kRoutineCount; ++i) w.f64(joules[i]);
+    }
+    w.dur(e.elapsed_);
+    encode_congestion(w, e.congestion_);
+    encode_kernel(w, e.kernel_);
+    encode_availability_summary(w, e.availability_);
+  }
+
+  static void decode_report(ByteReader& r, energy::EnergyReport& e) {
+    for (std::size_t i = 0; i < energy::kRoutineCount; ++i) e.routine_j_[i] = r.f64();
+    for (std::size_t i = 0; i < energy::kRoutineCount; ++i) e.busy_[i] = r.dur();
+    const std::size_t components = r.count();
+    for (std::size_t c = 0; c < components && r.ok(); ++c) {
+      std::string name = r.str();
+      std::array<double, energy::kRoutineCount> joules{};
+      for (std::size_t i = 0; i < energy::kRoutineCount; ++i) joules[i] = r.f64();
+      e.component_j_.emplace(std::move(name), joules);
+    }
+    e.elapsed_ = r.dur();
+    decode_congestion(r, e.congestion_);
+    decode_kernel(r, e.kernel_);
+    decode_availability_summary(r, e.availability_);
+  }
+
+  static void encode_trace(ByteWriter& w, const trace::PowerTrace& t) {
+    w.size(t.segments_.size());
+    for (const energy::PowerSegment& seg : t.segments_) {
+      w.size(seg.component);
+      w.u8(static_cast<std::uint8_t>(seg.routine));
+      w.time(seg.begin);
+      w.time(seg.end);
+      w.f64(seg.watts);
+      w.boolean(seg.busy);
+    }
+    w.size(t.component_names_.size());
+    for (const auto& [id, name] : t.component_names_) {
+      w.size(id);
+      w.str(name);
+    }
+  }
+
+  static void decode_trace(ByteReader& r, trace::PowerTrace& t) {
+    const std::size_t segments = r.count();
+    t.segments_.reserve(segments);
+    for (std::size_t i = 0; i < segments && r.ok(); ++i) {
+      energy::PowerSegment seg{};
+      seg.component = r.size();
+      seg.routine = static_cast<energy::Routine>(r.u8());
+      seg.begin = r.time();
+      seg.end = r.time();
+      seg.watts = r.f64();
+      seg.busy = r.boolean();
+      t.segments_.push_back(seg);
+    }
+    const std::size_t names = r.count();
+    t.component_names_.reserve(names);
+    for (std::size_t i = 0; i < names && r.ok(); ++i) {
+      const energy::ComponentId id = r.size();
+      t.component_names_.emplace_back(id, r.str());
+    }
+  }
+
+  static void encode_congestion(ByteWriter& w, const energy::CongestionSummary& c) {
+    w.boolean(c.modeled);
+    w.f64(c.utilization);
+    w.dur(c.airtime_wait);
+    w.u64(c.grants);
+    w.u64(c.retries);
+    w.u64(c.drops);
+  }
+
+  static void decode_congestion(ByteReader& r, energy::CongestionSummary& c) {
+    c.modeled = r.boolean();
+    c.utilization = r.f64();
+    c.airtime_wait = r.dur();
+    c.grants = r.u64();
+    c.retries = r.u64();
+    c.drops = r.u64();
+  }
+
+  static void encode_kernel(ByteWriter& w, const energy::KernelSummary& k) {
+    w.u64(k.events_dispatched);
+    w.size(k.peak_queue_depth);
+    w.str(k.scheduler);
+    w.i32(k.shards);
+  }
+
+  static void decode_kernel(ByteReader& r, energy::KernelSummary& k) {
+    k.events_dispatched = r.u64();
+    k.peak_queue_depth = r.size();
+    k.scheduler = r.str();
+    k.shards = r.i32();
+  }
+
+  static void encode_availability_summary(ByteWriter& w, const energy::AvailabilitySummary& a) {
+    w.boolean(a.modeled);
+    w.u64(a.hubs_modeled);
+    w.u64(a.reboots);
+    w.u64(a.windows_lost);
+    w.u64(a.samples_lost_faults);
+    w.u64(a.samples_lost_outage);
+    w.u64(a.samples_lost_crash);
+    w.dur(a.downtime);
+    w.f64(a.harvested_j);
+    w.f64(a.billed_j);
+  }
+
+  static void decode_availability_summary(ByteReader& r, energy::AvailabilitySummary& a) {
+    a.modeled = r.boolean();
+    a.hubs_modeled = r.u64();
+    a.reboots = r.u64();
+    a.windows_lost = r.u64();
+    a.samples_lost_faults = r.u64();
+    a.samples_lost_outage = r.u64();
+    a.samples_lost_crash = r.u64();
+    a.downtime = r.dur();
+    a.harvested_j = r.f64();
+    a.billed_j = r.f64();
+  }
+};
+
+namespace {
+
+void encode_error(ByteWriter& w, const core::ScenarioError& e) {
+  w.str(e.field);
+  w.str(e.message);
+}
+
+core::ScenarioError decode_error(ByteReader& r) {
+  core::ScenarioError e;
+  e.field = r.str();
+  e.message = r.str();
+  return e;
+}
+
+void encode_record(ByteWriter& w, const core::WindowRecord& rec) {
+  w.i32(rec.window);
+  w.time(rec.started);
+  w.time(rec.completed);
+  w.str(rec.summary);
+  w.f64(rec.metric);
+  w.boolean(rec.event);
+}
+
+core::WindowRecord decode_record(ByteReader& r) {
+  core::WindowRecord rec;
+  rec.window = r.i32();
+  rec.started = r.time();
+  rec.completed = r.time();
+  rec.summary = r.str();
+  rec.metric = r.f64();
+  rec.event = r.boolean();
+  return rec;
+}
+
+void encode_qos(ByteWriter& w, const core::AppQos& q) {
+  w.size(q.windows);
+  w.size(q.deadline_misses);
+  w.dur(q.worst_latency);
+  w.dur(q.total_latency);
+  w.dur(q.worst_sample_jitter);
+}
+
+core::AppQos decode_qos(ByteReader& r) {
+  core::AppQos q;
+  q.windows = r.size();
+  q.deadline_misses = r.size();
+  q.worst_latency = r.dur();
+  q.total_latency = r.dur();
+  q.worst_sample_jitter = r.dur();
+  return q;
+}
+
+void encode_busy(ByteWriter& w, const core::BusyBreakdown& b) {
+  w.dur(b.data_collection);
+  w.dur(b.interrupt);
+  w.dur(b.data_transfer);
+  w.dur(b.computation);
+}
+
+core::BusyBreakdown decode_busy(ByteReader& r) {
+  core::BusyBreakdown b;
+  b.data_collection = r.dur();
+  b.interrupt = r.dur();
+  b.data_transfer = r.dur();
+  b.computation = r.dur();
+  return b;
+}
+
+void encode_app(ByteWriter& w, const core::AppResult& a) {
+  w.size(a.records.size());
+  for (const core::WindowRecord& rec : a.records) encode_record(w, rec);
+  encode_qos(w, a.qos);
+  encode_busy(w, a.busy_per_window);
+  w.u8(static_cast<std::uint8_t>(a.mode));
+  w.size(a.heap_peak_bytes);
+  w.size(a.stack_peak_bytes);
+  w.u64(a.instructions);
+}
+
+core::AppResult decode_app(ByteReader& r) {
+  core::AppResult a;
+  const std::size_t records = r.count();
+  a.records.reserve(records);
+  for (std::size_t i = 0; i < records && r.ok(); ++i) a.records.push_back(decode_record(r));
+  a.qos = decode_qos(r);
+  a.busy_per_window = decode_busy(r);
+  a.mode = static_cast<core::AppMode>(r.u8());
+  a.heap_peak_bytes = r.size();
+  a.stack_peak_bytes = r.size();
+  a.instructions = r.u64();
+  return a;
+}
+
+void encode_app_map(ByteWriter& w, const std::map<apps::AppId, core::AppResult>& apps) {
+  w.size(apps.size());
+  for (const auto& [id, app] : apps) {
+    w.u8(static_cast<std::uint8_t>(id));
+    encode_app(w, app);
+  }
+}
+
+void decode_app_map(ByteReader& r, std::map<apps::AppId, core::AppResult>& apps) {
+  const std::size_t n = r.count();
+  for (std::size_t i = 0; i < n && r.ok(); ++i) {
+    const auto id = static_cast<apps::AppId>(r.u8());
+    apps.emplace(id, decode_app(r));
+  }
+}
+
+void encode_notes(ByteWriter& w, const std::map<apps::AppId, std::string>& notes) {
+  w.size(notes.size());
+  for (const auto& [id, note] : notes) {
+    w.u8(static_cast<std::uint8_t>(id));
+    w.str(note);
+  }
+}
+
+void decode_notes(ByteReader& r, std::map<apps::AppId, std::string>& notes) {
+  const std::size_t n = r.count();
+  for (std::size_t i = 0; i < n && r.ok(); ++i) {
+    const auto id = static_cast<apps::AppId>(r.u8());
+    notes.emplace(id, r.str());
+  }
+}
+
+void encode_plan(ByteWriter& w, const core::OffloadPlan& p) {
+  w.size(p.decisions.size());
+  for (const auto& [id, d] : p.decisions) {
+    w.u8(static_cast<std::uint8_t>(id));
+    w.boolean(d.offload);
+    w.str(d.reason);
+  }
+  w.size(p.mcu_ram_used);
+}
+
+void decode_plan(ByteReader& r, core::OffloadPlan& p) {
+  const std::size_t n = r.count();
+  for (std::size_t i = 0; i < n && r.ok(); ++i) {
+    const auto id = static_cast<apps::AppId>(r.u8());
+    core::OffloadDecision d;
+    d.offload = r.boolean();
+    d.reason = r.str();
+    p.decisions.emplace(id, std::move(d));
+  }
+  p.mcu_ram_used = r.size();
+}
+
+void encode_availability(ByteWriter& w, const env::AvailabilityStats& a) {
+  w.boolean(a.modeled);
+  w.boolean(a.power_limited);
+  w.u64(a.reboots);
+  w.u64(a.windows_lost);
+  w.u64(a.samples_lost_faults);
+  w.u64(a.samples_lost_outage);
+  w.u64(a.samples_lost_crash);
+  w.dur(a.downtime);
+  w.f64(a.uptime_fraction);
+  w.f64(a.harvested_j);
+  w.f64(a.billed_j);
+  w.f64(a.stored_j);
+}
+
+void decode_availability(ByteReader& r, env::AvailabilityStats& a) {
+  a.modeled = r.boolean();
+  a.power_limited = r.boolean();
+  a.reboots = r.u64();
+  a.windows_lost = r.u64();
+  a.samples_lost_faults = r.u64();
+  a.samples_lost_outage = r.u64();
+  a.samples_lost_crash = r.u64();
+  a.downtime = r.dur();
+  a.uptime_fraction = r.f64();
+  a.harvested_j = r.f64();
+  a.billed_j = r.f64();
+  a.stored_j = r.f64();
+}
+
+void encode_hub(ByteWriter& w, const core::HubResult& h) {
+  w.str(h.name);
+  ResultCodec::encode_report(w, h.energy);
+  encode_app_map(w, h.apps);
+  encode_plan(w, h.plan);
+  encode_notes(w, h.notes);
+  w.u64(h.interrupts_raised);
+  w.u64(h.cpu_wakeups);
+  w.u64(h.sensor_read_errors);
+  encode_availability(w, h.availability);
+  w.dur(h.airtime_wait);
+  w.u64(h.airtime_grants);
+  w.u64(h.net_retries);
+  w.u64(h.net_drops);
+  w.boolean(h.qos_met);
+  w.str(h.qos_summary);
+}
+
+core::HubResult decode_hub(ByteReader& r) {
+  core::HubResult h;
+  h.name = r.str();
+  ResultCodec::decode_report(r, h.energy);
+  decode_app_map(r, h.apps);
+  decode_plan(r, h.plan);
+  decode_notes(r, h.notes);
+  h.interrupts_raised = r.u64();
+  h.cpu_wakeups = r.u64();
+  h.sensor_read_errors = r.u64();
+  decode_availability(r, h.availability);
+  h.airtime_wait = r.dur();
+  h.airtime_grants = r.u64();
+  h.net_retries = r.u64();
+  h.net_drops = r.u64();
+  h.qos_met = r.boolean();
+  h.qos_summary = r.str();
+  return h;
+}
+
+std::uint32_t crc_of(std::string_view bytes) {
+  return codecs::util::crc32(
+      std::span{reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size()});
+}
+
+}  // namespace
+
+std::string encode_result(const core::ScenarioResult& result) {
+  const core::ScenarioResult& r = result;
+  ByteWriter w;
+  w.u32(kResultCodecMagic);
+  w.u32(kResultCodecVersion);
+  w.u8(static_cast<std::uint8_t>(r.scheme));
+  w.size(r.errors.size());
+  for (const core::ScenarioError& e : r.errors) encode_error(w, e);
+  ResultCodec::encode_report(w, r.energy);
+  w.dur(r.span);
+  encode_app_map(w, r.apps);
+  encode_plan(w, r.plan);
+  encode_notes(w, r.notes);
+  w.size(r.hubs.size());
+  for (const core::HubResult& h : r.hubs) encode_hub(w, h);
+  w.u64(r.interrupts_raised);
+  w.u64(r.cpu_wakeups);
+  w.u64(r.sensor_read_errors);
+  w.boolean(r.qos_met);
+  w.str(r.qos_summary);
+  w.boolean(r.power_trace != nullptr);
+  if (r.power_trace) ResultCodec::encode_trace(w, *r.power_trace);
+  const std::uint32_t crc = crc_of(w.bytes());
+  w.u32(crc);
+  return std::move(w).take();
+}
+
+std::optional<core::ScenarioResult> decode_result(std::string_view bytes) {
+  // Header (magic + version) plus the CRC trailer is the minimum envelope.
+  if (bytes.size() < 12) return std::nullopt;
+  const std::string_view body = bytes.substr(0, bytes.size() - 4);
+  ByteReader trailer{bytes.substr(bytes.size() - 4)};
+  if (trailer.u32() != crc_of(body)) return std::nullopt;
+
+  ByteReader r{body};
+  if (r.u32() != kResultCodecMagic) return std::nullopt;
+  if (r.u32() != kResultCodecVersion) return std::nullopt;
+
+  core::ScenarioResult out;
+  out.scheme = static_cast<core::Scheme>(r.u8());
+  const std::size_t errors = r.count();
+  out.errors.reserve(errors);
+  for (std::size_t i = 0; i < errors && r.ok(); ++i) out.errors.push_back(decode_error(r));
+  ResultCodec::decode_report(r, out.energy);
+  out.span = r.dur();
+  decode_app_map(r, out.apps);
+  decode_plan(r, out.plan);
+  decode_notes(r, out.notes);
+  const std::size_t hubs = r.count();
+  out.hubs.reserve(hubs);
+  for (std::size_t i = 0; i < hubs && r.ok(); ++i) out.hubs.push_back(decode_hub(r));
+  out.interrupts_raised = r.u64();
+  out.cpu_wakeups = r.u64();
+  out.sensor_read_errors = r.u64();
+  out.qos_met = r.boolean();
+  out.qos_summary = r.str();
+  if (r.boolean()) {
+    auto trace = std::make_shared<trace::PowerTrace>();
+    ResultCodec::decode_trace(r, *trace);
+    out.power_trace = std::move(trace);
+  }
+  // A well-formed entry is consumed exactly; trailing bytes mean the
+  // payload was produced by a different (future) layout — treat as a miss.
+  if (!r.ok() || !r.at_end()) return std::nullopt;
+  return out;
+}
+
+}  // namespace iotsim::cache

@@ -2,11 +2,13 @@
 
 #include <bit>
 #include <cstring>
+#include <utility>
 #include <exception>
 #include <limits>
 #include <span>
 #include <thread>
 
+#include "cache/result_cache.h"
 #include "codecs/util/checksum.h"
 #include "core/scenario_runner.h"
 #include "core/thread_pool.h"
@@ -184,6 +186,23 @@ std::uint32_t scenario_fingerprint(const Scenario& sc) {
       std::span{reinterpret_cast<const std::uint8_t*>(key.data()), key.size()});
 }
 
+SweepRunner::SweepRunner() = default;
+
+SweepRunner::SweepRunner(SweepOptions opts) : opts_{std::move(opts)} {
+  // The disk tier sits under the memo: without memoization there is no
+  // content key per run() slot to address entries with.
+  if (opts_.memoize && !opts_.cache_dir.empty()) {
+    disk_ = std::make_unique<cache::ResultCache>(opts_.cache_dir);
+  }
+}
+
+SweepRunner::~SweepRunner() = default;
+
+void SweepRunner::clear_cache() {
+  cache_.clear();
+  stats_ = SweepStats{};
+}
+
 int SweepRunner::jobs() const {
   if (opts_.jobs > 0) return opts_.jobs;
   const unsigned hw = std::thread::hardware_concurrency();
@@ -226,6 +245,14 @@ std::vector<ScenarioResult> SweepRunner::run(const std::vector<Scenario>& scenar
       alias_of[i] = it->second;
       continue;
     }
+    if (disk_) {
+      if (auto hit = disk_->lookup(key)) {
+        ++stats_.disk_hits;
+        slots[i] = std::move(hit);
+        cache_.emplace(std::move(key), slots[i]);  // promote into the memo
+        continue;
+      }
+    }
     producer.emplace(key, i);
     produced.emplace_back(std::move(key), i);
     to_run.push_back(i);
@@ -263,6 +290,14 @@ std::vector<ScenarioResult> SweepRunner::run(const std::vector<Scenario>& scenar
   }
 
   if (opts_.memoize) {
+    // Persist executed results before the memo consumes the keys. Stores
+    // run serially on this thread, in batch insertion order — determinism
+    // costs nothing here, the workers are already joined.
+    if (disk_) {
+      for (const auto& [key, idx] : produced) {
+        if (disk_->store(key, *slots[idx])) ++stats_.disk_stores;
+      }
+    }
     for (auto& [key, idx] : produced) cache_.emplace(std::move(key), slots[idx]);
     for (std::size_t i = 0; i < n; ++i) {
       if (alias_of[i] != kNone) slots[i] = slots[alias_of[i]];
@@ -292,9 +327,17 @@ ScenarioResult SweepRunner::run_one(const Scenario& scenario) {
     ++stats_.cache_hits;
     return *it->second;
   }
+  if (disk_) {
+    if (auto hit = disk_->lookup(key)) {
+      ++stats_.disk_hits;
+      cache_.emplace(std::move(key), hit);
+      return *hit;
+    }
+  }
   auto result = std::make_shared<const ScenarioResult>(run_scenario(scenario, opts_.exec));
   ++stats_.executed;
   stats_.events_dispatched += result->energy.kernel().events_dispatched;
+  if (disk_ && disk_->store(key, *result)) ++stats_.disk_stores;
   cache_.emplace(std::move(key), result);
   return *result;
 }

@@ -22,6 +22,10 @@
 #include "core/reports.h"
 #include "core/scenario.h"
 
+namespace iotsim::cache {
+class ResultCache;  // persistent disk tier (cache/result_cache.h)
+}
+
 namespace iotsim::core {
 
 /// Canonical byte serialisation of a Scenario — two scenarios produce the
@@ -41,6 +45,10 @@ struct SweepOptions {
   /// Per-scenario execution shape (sharding). Never part of the memo key:
   /// results are byte-identical across policies by construction.
   ExecPolicy exec{};
+  /// Non-empty ⇒ open a persistent content-addressed result cache there as
+  /// the second tier under the in-memory memo (requires memoize; see
+  /// cache/result_cache.h). Off by default.
+  std::string cache_dir;
 };
 
 struct SweepStats {
@@ -51,12 +59,17 @@ struct SweepStats {
   /// Kernel events dispatched by executed scenarios (memo hits add nothing)
   /// — the honest numerator for a bench's events/sec.
   std::uint64_t events_dispatched = 0;
+  std::uint64_t disk_hits = 0;    // served from the persistent cache tier
+  std::uint64_t disk_stores = 0;  // executed results persisted to disk
 };
 
 class SweepRunner {
  public:
-  SweepRunner() = default;
-  explicit SweepRunner(SweepOptions opts) : opts_{opts} {}
+  SweepRunner();
+  explicit SweepRunner(SweepOptions opts);
+  ~SweepRunner();
+  SweepRunner(const SweepRunner&) = delete;
+  SweepRunner& operator=(const SweepRunner&) = delete;
 
   /// Runs every scenario, fanning distinct ones out across the worker pool.
   /// Results are returned in input order; invalid scenarios yield a result
@@ -71,13 +84,24 @@ class SweepRunner {
   [[nodiscard]] int jobs() const;
 
   [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
-  void clear_cache() { cache_.clear(); }
+
+  /// Drops the in-memory memo AND zeroes the stats counters, so warm/cold
+  /// bench phases report clean hit-rate numbers. The persistent disk tier
+  /// (SweepOptions::cache_dir) is deliberately untouched — it is exactly
+  /// the layer a cold/warm comparison measures against.
+  void clear_cache();
+
+  /// The persistent tier, or nullptr when cache_dir was empty (or memoize
+  /// off). Exposed for stats and tests; lookups/stores go through run*().
+  [[nodiscard]] const cache::ResultCache* disk_cache() const { return disk_.get(); }
 
  private:
   SweepOptions opts_;
   SweepStats stats_;
   /// scenario_key → immutable result, shared with callers by value-copy.
   std::unordered_map<std::string, std::shared_ptr<const ScenarioResult>> cache_;
+  /// Second tier: probed after a memo miss, written after execution.
+  std::unique_ptr<cache::ResultCache> disk_;
 };
 
 /// Convenience: one-shot parallel sweep.

@@ -14,6 +14,10 @@
 #include "energy/routine.h"
 #include "sim/sim_time.h"
 
+namespace iotsim::cache {
+class ResultCodec;  // the persistent result cache's binary codec
+}
+
 namespace iotsim::energy {
 
 /// Fleet-level view of the shared uplink's contention during a run (set by
@@ -129,6 +133,10 @@ class EnergyReport {
   void set_availability(const AvailabilitySummary& a) { availability_ = a; }
 
  private:
+  /// The result cache serialises reports bit-identically, including state
+  /// no public mutator exposes (cache/result_codec.cpp).
+  friend class iotsim::cache::ResultCodec;
+
   /// Shared ledger-walk of from_accountant / from_accountants; its iteration
   /// order is the fleet float-summation contract.
   static void accumulate(EnergyReport& r, const EnergyAccountant& acct,

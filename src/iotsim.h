@@ -79,6 +79,10 @@
 #include "apps/iot_app.h"
 #include "apps/workload_spec.h"
 
+// Persistent result cache (the sweep's disk tier).
+#include "cache/result_cache.h"
+#include "cache/result_codec.h"
+
 // The paper's schemes.
 #include "core/comparison.h"
 #include "core/hub_runtime.h"

@@ -14,6 +14,10 @@
 #include "energy/power_state_machine.h"
 #include "sim/sim_time.h"
 
+namespace iotsim::cache {
+class ResultCodec;  // the persistent result cache's binary codec
+}
+
 namespace iotsim::trace {
 
 class PowerTrace {
@@ -52,6 +56,10 @@ class PowerTrace {
   void clear() { segments_.clear(); component_names_.clear(); }
 
  private:
+  /// The result cache reconstructs recorded traces segment-for-segment
+  /// (cache/result_codec.cpp).
+  friend class iotsim::cache::ResultCodec;
+
   std::vector<energy::PowerSegment> segments_;
   std::vector<std::pair<energy::ComponentId, std::string>> component_names_;
 };

@@ -154,9 +154,15 @@ TEST(Sweep, ClearCacheForcesReexecution) {
   SweepRunner runner{SweepOptions{.jobs = 1}};
   (void)runner.run({sc});
   runner.clear_cache();
+  // clear_cache() drops the memo AND zeroes the stats: the runner reads as
+  // factory-fresh, not as a cache that mysteriously stopped hitting.
   EXPECT_EQ(runner.cache_size(), 0u);
+  EXPECT_EQ(runner.stats().scheduled, 0u);
+  EXPECT_EQ(runner.stats().executed, 0u);
+  EXPECT_EQ(runner.stats().cache_hits, 0u);
   (void)runner.run({sc});
-  EXPECT_EQ(runner.stats().executed, 2u);
+  EXPECT_EQ(runner.stats().executed, 1u);
+  EXPECT_EQ(runner.stats().cache_hits, 0u);
 }
 
 TEST(Sweep, RunOneMemoizesToo) {

@@ -1,0 +1,40 @@
+// Encoder half of the codec-coverage fixture: encode_result() covers every
+// ScenarioResult/HubResult field except fresh_metric. decode_result() and
+// unrelated() below *do* touch fresh_metric — the pass must not be fooled
+// by mentions outside encode_result's call graph.
+#include <string>
+
+#include "codec_structs.h"
+
+namespace fx {
+
+struct Writer {
+  void add(double v);
+  void add_str(const std::string& v);
+  std::string take();
+};
+
+void encode_hub(Writer& w, const HubResult& hr) {
+  w.add_str(hr.name);
+  w.add(hr.joules);
+}
+
+std::string encode_result(const ScenarioResult& r) {
+  Writer w;
+  w.add(r.windows);
+  for (const auto& hub : r.hubs) encode_hub(w, hub);
+  return w.take();
+}
+
+ScenarioResult decode_result(const std::string& bytes) {
+  ScenarioResult r;
+  r.windows = static_cast<int>(bytes.size());
+  r.fresh_metric = 1.0;  // mention outside the encoder: must not mask
+  return r;
+}
+
+double unrelated(const ScenarioResult& r) {
+  return r.fresh_metric * 2.0;  // mention outside the encoder: must not mask
+}
+
+}  // namespace fx

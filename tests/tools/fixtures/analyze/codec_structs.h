@@ -1,0 +1,23 @@
+#pragma once
+// Miniature versions of the cached result structs for the codec-coverage
+// fixture. `fresh_metric` is the seeded violation: it never reaches
+// encode_result() in codec_enc.cpp (although decode_result() and
+// unrelated() mention it — reachability, not a file-wide grep, must
+// decide).
+#include <string>
+#include <vector>
+
+namespace fx {
+
+struct HubResult {
+  std::string name;
+  double joules = 0.0;
+};
+
+struct ScenarioResult {
+  int windows = 0;
+  double fresh_metric = 0.0;  // VIOLATION: missing from the binary codec
+  std::vector<HubResult> hubs;
+};
+
+}  // namespace fx

@@ -211,16 +211,19 @@ TEST(AnalyzeHashRealTree, EveryScenarioFieldReachesTheKey) {
   EXPECT_TRUE(findings.empty()) << (findings.empty() ? std::string{} : findings[0].detail);
 }
 
-// Removes the scenario_key() append line(s) that mention `field_ref` —
-// lines whose trimmed text starts with "s." — leaving the rest intact.
-std::string drop_hash_lines(const std::string& content, const std::string& field_ref) {
+// Removes the append/encode line(s) that mention `field_ref` — lines whose
+// trimmed text starts with `prefix` ("s." for scenario_key's sink, "w." for
+// the result codec's writer) — leaving the rest intact.
+std::string drop_append_lines(const std::string& content, const std::string& prefix,
+                              const std::string& field_ref) {
   std::istringstream in{content};
   std::string out;
   std::string line;
   int dropped = 0;
   while (std::getline(in, line)) {
     const std::size_t first = line.find_first_not_of(" \t");
-    const bool is_append = first != std::string::npos && line.compare(first, 2, "s.") == 0;
+    const bool is_append =
+        first != std::string::npos && line.compare(first, prefix.size(), prefix) == 0;
     if (is_append && line.find(field_ref) != std::string::npos) {
       ++dropped;
       continue;
@@ -228,8 +231,12 @@ std::string drop_hash_lines(const std::string& content, const std::string& field
     out += line;
     out += '\n';
   }
-  EXPECT_GT(dropped, 0) << "no hash line mentions " << field_ref;
+  EXPECT_GT(dropped, 0) << "no " << prefix << " line mentions " << field_ref;
   return out;
+}
+
+std::string drop_hash_lines(const std::string& content, const std::string& field_ref) {
+  return drop_append_lines(content, "s.", field_ref);
 }
 
 TEST(AnalyzeHashRealTree, DeletingAHashedFieldLineFails) {
@@ -251,6 +258,89 @@ TEST(AnalyzeHashRealTree, DeletingAHashedFieldLineFails) {
       }
     }
     const auto findings = run_rule(units, kRuleHashCoverage);
+    ASSERT_EQ(findings.size(), 1u) << "deleting " << probe.ref << " went undetected";
+    EXPECT_NE(findings[0].detail.find(std::string{"'"} + probe.name + "'"), std::string::npos)
+        << findings[0].detail;
+  }
+}
+
+// --- codec-coverage -----------------------------------------------------
+
+TEST(AnalyzeCodec, ReportsFieldMissingFromCodec) {
+  std::vector<FileUnit> units;
+  units.push_back(unit_of(fixture("codec_structs.h")));
+  units.push_back(unit_of(fixture("codec_enc.cpp")));
+  const auto findings = run_rule(units, kRuleCodecCoverage);
+  // Exactly the seeded gap: fresh_metric is mentioned in decode_result()
+  // and unrelated() but never inside encode_result()'s call graph.
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].detail.find("'fresh_metric'"), std::string::npos);
+  EXPECT_NE(findings[0].detail.find("'ScenarioResult'"), std::string::npos);
+}
+
+TEST(AnalyzeCodec, SilentOnceFieldIsEncoded) {
+  std::string patched = read_file(fixture("codec_enc.cpp"));
+  const std::string anchor = "return w.take();";
+  const std::size_t at = patched.find(anchor);
+  ASSERT_NE(at, std::string::npos);
+  patched.insert(at, "w.add(r.fresh_metric);\n  ");
+  std::vector<FileUnit> units;
+  units.push_back(unit_of(fixture("codec_structs.h")));
+  units.push_back(make_unit("codec_enc_patched.cpp", patched));
+  EXPECT_TRUE(run_rule(units, kRuleCodecCoverage).empty());
+}
+
+TEST(AnalyzeCodec, GuardsAgainstScansWithoutTheEncoder) {
+  std::vector<FileUnit> units;
+  units.push_back(unit_of(fixture("codec_structs.h")));
+  const auto findings = run_rule(units, kRuleCodecCoverage);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].detail.find("no encode_result() definition"), std::string::npos);
+}
+
+// --- codec-coverage over the real tree ----------------------------------
+
+std::vector<std::filesystem::path> codec_tree_files() {
+  const std::filesystem::path src{IOTSIM_SRC_DIR};
+  return {src / "cache/result_codec.cpp",   src / "core/reports.h",
+          src / "core/qos.h",               src / "core/offload_planner.h",
+          src / "core/scenario.h",          src / "energy/energy_accountant.h",
+          src / "energy/energy_report.h",   src / "env/hub_environment.h"};
+}
+
+TEST(AnalyzeCodecRealTree, EveryResultFieldReachesTheCodec) {
+  std::vector<FileUnit> units;
+  for (const auto& p : codec_tree_files()) units.push_back(unit_of(p));
+  const auto findings = run_rule(units, kRuleCodecCoverage);
+  EXPECT_TRUE(findings.empty()) << (findings.empty() ? std::string{} : findings[0].detail);
+}
+
+TEST(AnalyzeCodecRealTree, DeletingAnEncodedFieldLineFails) {
+  const std::string codec =
+      read_file(std::filesystem::path{IOTSIM_SRC_DIR} / "cache/result_codec.cpp");
+  struct Probe {
+    const char* ref;   // the expression on the encode line
+    const char* name;  // the struct field the pass must report
+  };
+  // Probes picked from structs with unique field names — the pass is
+  // identifier-based, so a field spelled the same on two structs (e.g.
+  // cpu_wakeups) would stay "covered" by the other struct's encode line.
+  for (const Probe probe : {Probe{"r.scheme", "scheme"},
+                            Probe{"h.airtime_grants", "airtime_grants"},
+                            Probe{"q.worst_sample_jitter", "worst_sample_jitter"},
+                            Probe{"p.mcu_ram_used", "mcu_ram_used"},
+                            Probe{"a.uptime_fraction", "uptime_fraction"},
+                            Probe{"a.heap_peak_bytes", "heap_peak_bytes"}}) {
+    std::vector<FileUnit> units;
+    for (const auto& p : codec_tree_files()) {
+      if (p.filename() == "result_codec.cpp") {
+        units.push_back(
+            make_unit(p.generic_string(), drop_append_lines(codec, "w.", probe.ref)));
+      } else {
+        units.push_back(unit_of(p));
+      }
+    }
+    const auto findings = run_rule(units, kRuleCodecCoverage);
     ASSERT_EQ(findings.size(), 1u) << "deleting " << probe.ref << " went undetected";
     EXPECT_NE(findings[0].detail.find(std::string{"'"} + probe.name + "'"), std::string::npos)
         << findings[0].detail;
@@ -313,7 +403,7 @@ TEST(AnalyzeFramework, FindingsAreSorted) {
 
 TEST(AnalyzeCatalogue, ListsEveryRuleExactlyOnce) {
   const auto ids = all_rule_ids();
-  EXPECT_EQ(ids.size(), 12u);
+  EXPECT_EQ(ids.size(), 13u);
   std::vector<std::string_view> unique(ids.begin(), ids.end());
   std::sort(unique.begin(), unique.end());
   EXPECT_EQ(std::adjacent_find(unique.begin(), unique.end()), unique.end());

@@ -40,6 +40,7 @@ inline constexpr std::string_view kRuleSharedMutableStatic = "shared-mutable-sta
 inline constexpr std::string_view kRuleUnorderedIteration = "unordered-iteration";
 inline constexpr std::string_view kRulePointerOrder = "pointer-order";
 inline constexpr std::string_view kRuleHashCoverage = "hash-coverage";
+inline constexpr std::string_view kRuleCodecCoverage = "codec-coverage";
 
 /// One catalogue entry: a stable rule id plus the one-line summary shown by
 /// --list-rules (and mirrored in tools/iotsim_lint.conf's header, which a

@@ -1,0 +1,176 @@
+// codec-coverage: every field of the result structs must feed the
+// persistent cache's binary codec, encode_result().
+//
+// cache/result_codec.cpp serialises ScenarioResult for the on-disk result
+// cache. A field that exists on ScenarioResult/HubResult/AppResult/… but is
+// NOT encoded silently decays every cached result: a warm sweep returns a
+// result whose missing field is default-initialised, and no behavioural
+// test notices until something consumes that exact field from a warm run.
+// This is the write-side sibling of hash-coverage — the key side guards
+// lookups, this side guards what a hit returns.
+//
+// Mechanism (tree pass, mirroring pass_hash.cpp): scan() collects the field
+// lists of the watched result-struct definitions, and for any file defining
+// a function literally named encode_result, a map of function name ->
+// identifiers in its body. finish() computes the identifiers transitively
+// reachable from encode_result through same-file helpers (encode_hub,
+// encode_app, ResultCodec::encode_report, …) and reports every watched
+// field whose name never occurs there. Reachability, not a file-wide grep:
+// decode_result() mentions every field too, but deleting an *encode* line
+// must still fire. Blind spot (shared with pass_hash): fields spelled
+// identically on two watched structs (e.g. cpu_wakeups on ScenarioResult
+// and HubResult) are covered if either encode line survives.
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/decl.h"
+#include "analyze/passes.h"
+
+namespace iotsim::analyze {
+
+namespace {
+
+/// Structs whose every field must reach the result codec. Extend this list
+/// when a new struct joins ScenarioResult's object graph.
+constexpr std::string_view kCodecStructs[] = {
+    "ScenarioResult", "HubResult",         "AppResult",         "WindowRecord",
+    "AppQos",         "BusyBreakdown",     "OffloadPlan",       "OffloadDecision",
+    "AvailabilityStats", "CongestionSummary", "KernelSummary",  "AvailabilitySummary",
+    "PowerSegment",   "ScenarioError"};
+
+constexpr std::string_view kEncodeFunction = "encode_result";
+
+bool is_codec_struct(std::string_view name) {
+  for (const std::string_view s : kCodecStructs) {
+    if (name == s) return true;
+  }
+  return false;
+}
+
+class CodecCoveragePass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return kRuleCodecCoverage; }
+
+  [[nodiscard]] std::span<const RuleDoc> rules() const override {
+    static constexpr RuleDoc kDocs[] = {
+        {kRuleCodecCoverage,
+         "result struct field missing from the cache's encode_result() codec"},
+    };
+    return kDocs;
+  }
+
+  void scan(const FileUnit& unit, std::vector<Finding>& out) override {
+    (void)out;
+    collect_fields(unit);
+    collect_encode_functions(unit);
+  }
+
+  void finish(std::vector<Finding>& out) override {
+    if (fields_.empty()) return;
+    if (functions_.count(std::string{kEncodeFunction}) == 0) {
+      const Field& f = fields_.front();
+      out.push_back(Finding{
+          f.file, f.line, std::string{kRuleCodecCoverage},
+          "result structs are in the scanned set but no encode_result() "
+          "definition is — run the analyzer over a tree that includes "
+          "cache/result_codec.cpp, or drop the result headers from the scan"});
+      return;
+    }
+    // Identifiers transitively reachable from encode_result through helpers
+    // defined in the same file(s).
+    std::set<std::string> reachable;
+    std::vector<std::string> worklist{std::string{kEncodeFunction}};
+    std::set<std::string> visited;
+    while (!worklist.empty()) {
+      const std::string fn = std::move(worklist.back());
+      worklist.pop_back();
+      if (!visited.insert(fn).second) continue;
+      const auto it = functions_.find(fn);
+      if (it == functions_.end()) continue;
+      for (const std::string& id : it->second) {
+        reachable.insert(id);
+        if (functions_.count(id) != 0) worklist.push_back(id);
+      }
+    }
+    for (const Field& f : fields_) {
+      if (reachable.count(f.name) != 0) continue;
+      out.push_back(Finding{
+          f.file, f.line, std::string{kRuleCodecCoverage},
+          "field '" + f.name + "' of result struct '" + f.strct +
+              "' never reaches encode_result(): cached results decode with this "
+              "field default-initialised — encode it (and bump the codec "
+              "version tag)"});
+    }
+  }
+
+ private:
+  void collect_fields(const FileUnit& unit) {
+    const auto& T = unit.tokens;
+    for (std::size_t i = 0; i + 2 < T.size(); ++i) {
+      if (!is_ident(T[i], "struct") || T[i + 1].kind != TokenKind::kIdent) continue;
+      if (!is_codec_struct(T[i + 1].text)) continue;
+      // Find the body '{' before any ';' (a ';' first means forward decl).
+      std::size_t open = 0;
+      for (std::size_t j = i + 2; j < T.size() && j < i + 18; ++j) {
+        if (is_punct(T[j], ";")) break;
+        if (is_punct(T[j], "{")) {
+          open = j;
+          break;
+        }
+      }
+      if (open == 0) continue;
+      const int block = unit.scopes.block_of[open];
+      if (block < 0) continue;
+      for (const Statement& stmt : statements_of_scope(unit, block)) {
+        const auto decl = parse_var_decl(unit, stmt);
+        if (!decl) continue;
+        if (head_contains(unit, *decl, "static")) continue;  // not per-instance
+        fields_.push_back(Field{unit.display_path, std::string{T[i + 1].text},
+                                std::string{decl->name}, T[decl->name_tok].line});
+      }
+    }
+  }
+
+  void collect_encode_functions(const FileUnit& unit) {
+    bool defines_encode = false;
+    for (const Block& b : unit.scopes.blocks) {
+      if (b.kind == BlockKind::kFunction &&
+          function_name(unit.tokens, b) == kEncodeFunction) {
+        defines_encode = true;
+        break;
+      }
+    }
+    if (!defines_encode) return;
+    for (const Block& b : unit.scopes.blocks) {
+      if (b.kind != BlockKind::kFunction) continue;
+      const std::string_view name = function_name(unit.tokens, b);
+      if (name.empty()) continue;
+      auto& idents = functions_[std::string{name}];
+      for (std::size_t j = b.open_tok; j <= b.close_tok && j < unit.tokens.size(); ++j) {
+        if (unit.tokens[j].kind == TokenKind::kIdent) {
+          idents.insert(std::string{unit.tokens[j].text});
+        }
+      }
+    }
+  }
+
+  struct Field {
+    std::string file;
+    std::string strct;
+    std::string name;
+    int line = 0;
+  };
+  std::vector<Field> fields_;
+  // function name -> identifiers in its body, from files defining encode_result
+  std::map<std::string, std::set<std::string>> functions_;
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_codec_coverage_pass() {
+  return std::make_unique<CodecCoveragePass>();
+}
+
+}  // namespace iotsim::analyze

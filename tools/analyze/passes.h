@@ -13,5 +13,6 @@ std::unique_ptr<Pass> make_shared_mutable_static_pass();
 std::unique_ptr<Pass> make_unordered_iteration_pass();
 std::unique_ptr<Pass> make_pointer_order_pass();
 std::unique_ptr<Pass> make_hash_coverage_pass();
+std::unique_ptr<Pass> make_codec_coverage_pass();
 
 }  // namespace iotsim::analyze
